@@ -1,0 +1,32 @@
+//! # jle-adversary — `(T, 1−ε)`-bounded jamming adversaries
+//!
+//! The adversary substrate of the SPAA 2015 reproduction. It separates
+//! *policy* from *admissibility*:
+//!
+//! * [`JamBudget`] is the admissibility clamp: an exact, prospective
+//!   enforcer of the paper's `(T, 1−ε)` bound (at most `⌊(1−ε)w⌋` jams in
+//!   any window of `w ≥ T` contiguous slots). No strategy can exceed it;
+//!   see `budget.rs` for the soundness argument.
+//! * [`JamStrategy`] implementations decide *where* to spend the budget —
+//!   from the passive [`strategies::NoJammer`] through oblivious periodic
+//!   and random jammers up to the protocol-aware
+//!   [`strategies::AdaptiveEstimatorJammer`] that mirrors LESK's estimate
+//!   from the public channel history.
+//! * [`AdversarySpec`] is the serializable description used by experiment
+//!   configs.
+//!
+//! ε is an exact fixed-point [`Rate`] so that budget arithmetic carries no
+//! floating-point drift over multi-million-slot runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod rate;
+pub mod strategies;
+pub mod traits;
+
+pub use budget::JamBudget;
+pub use rate::Rate;
+pub use strategies::JamStrategyKind;
+pub use traits::{AdversarySpec, JamStrategy};

@@ -1,0 +1,71 @@
+//! Periodic burst jamming.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Alternates `on` consecutive jam requests with `off` idle slots.
+///
+/// With `on` close to `T` this saturates whole contiguous stretches —
+/// the workload for experiment E3, where the paper's runtime bound
+/// transitions from the `log n` regime to the `Θ(T)` regime.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstJammer {
+    on: u64,
+    off: u64,
+}
+
+impl BurstJammer {
+    /// `on` jam requests followed by `off` idle slots (period `on+off`).
+    /// Both are clamped to at least 1.
+    pub fn new(on: u64, off: u64) -> Self {
+        BurstJammer { on: on.max(1), off: off.max(1) }
+    }
+}
+
+impl JamStrategy for BurstJammer {
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _: &JamBudget,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        history.now() % (self.on + self.off) < self.on
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::{ChannelHistory, SlotTruth};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn burst_pattern() {
+        let mut s = BurstJammer::new(3, 2);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = ChannelHistory::new(32);
+        let mut pat = Vec::new();
+        for _ in 0..10 {
+            pat.push(s.decide(&h, &b, &mut rng));
+            h.push(&SlotTruth::IDLE);
+        }
+        assert_eq!(
+            pat,
+            vec![true, true, true, false, false, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn zero_params_clamped() {
+        let s = BurstJammer::new(0, 0);
+        assert_eq!((s.on, s.off), (1, 1));
+    }
+}

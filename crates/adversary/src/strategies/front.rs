@@ -1,0 +1,58 @@
+//! Front-loaded jamming.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Requests a jam in every slot before `horizon`, nothing after — models
+/// an attacker with a fixed energy reserve spent as early as possible
+/// (worst case for protocols whose estimate starts far from `log₂ n`).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontLoadedJammer {
+    horizon: u64,
+}
+
+impl FrontLoadedJammer {
+    /// Jamming phase covers slots `0..horizon`.
+    pub fn new(horizon: u64) -> Self {
+        FrontLoadedJammer { horizon }
+    }
+}
+
+impl JamStrategy for FrontLoadedJammer {
+    fn name(&self) -> &'static str {
+        "front-loaded"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _: &JamBudget,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        history.now() < self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::{ChannelHistory, SlotTruth};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn stops_at_horizon() {
+        let mut s = FrontLoadedJammer::new(3);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = ChannelHistory::new(16);
+        let mut pat = Vec::new();
+        for _ in 0..6 {
+            pat.push(s.decide(&h, &b, &mut rng));
+            h.push(&SlotTruth::IDLE);
+        }
+        assert_eq!(pat, vec![true, true, true, false, false, false]);
+    }
+}

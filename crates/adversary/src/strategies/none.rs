@@ -1,0 +1,39 @@
+//! The passive adversary.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Never requests a jam. Used for jam-free control runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoJammer;
+
+impl JamStrategy for NoJammer {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn decide(&mut self, _: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::ChannelHistory;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn never_jams() {
+        let mut s = NoJammer;
+        let h = ChannelHistory::new(8);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert!(!s.decide(&h, &b, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The Lemma 2.7 lower-bound adversary.
+
+use crate::budget::JamBudget;
+use crate::rate::Rate;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Jams the first `⌊(1−ε)·T⌋` slots of every aligned block of `T`
+/// consecutive slots — the construction in the paper's Lemma 2.7 proof:
+/// "the adversary can simply jam the first `⌊(1−ε)T⌋` slots out of each
+/// `T` consecutive time steps", which forces any algorithm needing
+/// `c·log n` clean slots to run for `Ω(max{T, ε⁻¹ log n})` slots.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicFrontJammer {
+    t_window: u64,
+    jam_per_block: u64,
+}
+
+impl PeriodicFrontJammer {
+    /// Build for a `(t_window, 1−eps)` budget.
+    pub fn new(eps: Rate, t_window: u64) -> Self {
+        PeriodicFrontJammer { t_window: t_window.max(1), jam_per_block: eps.allowance(t_window) }
+    }
+}
+
+impl JamStrategy for PeriodicFrontJammer {
+    fn name(&self) -> &'static str {
+        "periodic-front"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _budget: &JamBudget,
+        _rng: &mut dyn RngCore,
+    ) -> bool {
+        let pos_in_block = history.now() % self.t_window;
+        pos_in_block < self.jam_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_radio::{ChannelHistory, SlotTruth};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn block_pattern_is_clamped_to_admissibility() {
+        // The paper's Lemma 2.7 construction jams the first floor((1-eps)T)
+        // slots of each T-block. Under the strict "every window w >= T"
+        // reading this slightly overshoots on block-crossing windows (e.g.
+        // [0..8] of length 9 would collect 5 jams > floor(4.5)), so the
+        // budget clamp trims a slot per block boundary; the achieved
+        // density must stay close to the target.
+        let eps = Rate::from_f64(0.5);
+        let t = 8u64;
+        let mut s = PeriodicFrontJammer::new(eps, t);
+        let mut b = JamBudget::new(eps, t);
+        let mut h = ChannelHistory::new(64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut jams = Vec::new();
+        for _ in 0..64u64 {
+            let want = s.decide(&h, &b, &mut rng);
+            let ok = want && b.can_jam();
+            b.advance(ok);
+            h.push(&SlotTruth::new(0, ok));
+            jams.push(ok);
+        }
+        // The very first block is jammed exactly as the paper describes.
+        for (i, &j) in jams.iter().enumerate().take(8) {
+            assert_eq!(j, i < 4, "slot {i}");
+        }
+        // Overall the clamp keeps at least 3 of the 4 requested jams per
+        // block, and never exceeds the budget (referee below).
+        let total: usize = jams.iter().filter(|&&j| j).count();
+        assert!(total >= 3 * 8, "achieved only {total} jams over 8 blocks");
+        crate::budget::tests_support::verify_all_windows_ref(&jams, eps, t);
+    }
+
+    #[test]
+    fn small_eps_jams_most_of_each_block() {
+        let eps = Rate::from_ratio(1, 8);
+        let t = 16u64;
+        let s = PeriodicFrontJammer::new(eps, t);
+        assert_eq!(s.jam_per_block, 14); // floor(7/8 * 16)
+    }
+}

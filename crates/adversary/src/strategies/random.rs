@@ -1,0 +1,64 @@
+//! Oblivious random jamming.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::{Rng, RngCore};
+
+/// Requests a jam independently each slot with fixed probability — models
+/// the benign end of the paper's threat spectrum: "random faults generated
+/// by incidental transmissions of coexisting networks".
+#[derive(Debug, Clone, Copy)]
+pub struct RandomJammer {
+    prob: f64,
+}
+
+impl RandomJammer {
+    /// Jam request probability, clamped to `[0, 1]`.
+    pub fn new(prob: f64) -> Self {
+        RandomJammer { prob: prob.clamp(0.0, 1.0) }
+    }
+}
+
+impl JamStrategy for RandomJammer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn decide(&mut self, _: &dyn HistoryView, _: &JamBudget, rng: &mut dyn RngCore) -> bool {
+        rng.gen_bool(self.prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::ChannelHistory;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn request_rate_matches_probability() {
+        let mut s = RandomJammer::new(0.3);
+        let h = ChannelHistory::new(8);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let count: u32 = (0..n).map(|_| s.decide(&h, &b, &mut rng) as u32).sum();
+        let rate = count as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let h = ChannelHistory::new(8);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut never = RandomJammer::new(-1.0);
+        let mut always = RandomJammer::new(2.0);
+        for _ in 0..16 {
+            assert!(!never.decide(&h, &b, &mut rng));
+            assert!(always.decide(&h, &b, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Reactive jamming keyed on the previous slot's state.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::{ChannelState, HistoryView};
+use rand::RngCore;
+
+/// Requests a jam whenever the *previous* slot was observed as `Null`.
+///
+/// Rationale against LESK: a `Null` means the estimate `u` was above
+/// `log₂ n` and just dropped by 1; jamming right after converts the next
+/// would-be `Null` into a `Collision`, stalling the downward correction
+/// and keeping the transmission probability too small for a `Single`.
+/// This is a *reactive* adversary in the sense of Richa et al. (ICDCS'11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReactiveNullJammer;
+
+impl JamStrategy for ReactiveNullJammer {
+    fn name(&self) -> &'static str {
+        "reactive-null"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _: &JamBudget,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        history.last().is_some_and(|p| p.state() == ChannelState::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::{ChannelHistory, SlotTruth};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn fires_only_after_null() {
+        let mut s = ReactiveNullJammer;
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = ChannelHistory::new(8);
+        assert!(!s.decide(&h, &b, &mut rng), "no history yet");
+        h.push(&SlotTruth::new(0, false)); // Null
+        assert!(s.decide(&h, &b, &mut rng));
+        h.push(&SlotTruth::new(2, false)); // Collision
+        assert!(!s.decide(&h, &b, &mut rng));
+        h.push(&SlotTruth::new(1, false)); // Single
+        assert!(!s.decide(&h, &b, &mut rng));
+        h.push(&SlotTruth::new(0, true)); // jammed: reads Collision
+        assert!(!s.decide(&h, &b, &mut rng));
+    }
+}

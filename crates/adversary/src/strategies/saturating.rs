@@ -1,0 +1,42 @@
+//! The maximally aggressive admissible jammer.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Requests a jam in every slot. Clamped by the budget, this realizes the
+/// greedy `(T, 1−ε)` jammer: every slot that *can* be jammed *is* jammed.
+///
+/// Against LESK this is a strong oblivious baseline: each jam reads as a
+/// `Collision` and pushes the estimate `u` up by `ε/8`, exactly the
+/// pressure the paper's asymmetric update rule is designed to absorb.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaturatingJammer;
+
+impl JamStrategy for SaturatingJammer {
+    fn name(&self) -> &'static str {
+        "saturating"
+    }
+
+    fn decide(&mut self, _: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::ChannelHistory;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn always_requests() {
+        let mut s = SaturatingJammer;
+        let h = ChannelHistory::new(8);
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(s.decide(&h, &b, &mut rng));
+    }
+}

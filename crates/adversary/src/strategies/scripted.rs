@@ -1,0 +1,83 @@
+//! Scripted jamming from an explicit bitmap — mainly for tests.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Plays back an explicit request pattern, optionally looping it.
+#[derive(Debug, Clone)]
+pub struct ScriptedJammer {
+    pattern: Vec<bool>,
+    repeat: bool,
+}
+
+impl ScriptedJammer {
+    /// Pattern of jam requests indexed by slot; when `repeat` the pattern
+    /// loops, otherwise the jammer is idle after the pattern ends.
+    pub fn new(pattern: Vec<bool>, repeat: bool) -> Self {
+        ScriptedJammer { pattern, repeat }
+    }
+}
+
+impl JamStrategy for ScriptedJammer {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _: &JamBudget,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        if self.pattern.is_empty() {
+            return false;
+        }
+        let t = history.now() as usize;
+        if self.repeat {
+            self.pattern[t % self.pattern.len()]
+        } else {
+            self.pattern.get(t).copied().unwrap_or(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use jle_radio::{ChannelHistory, SlotTruth};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn play(s: &mut ScriptedJammer, n: usize) -> Vec<bool> {
+        let b = JamBudget::new(Rate::from_f64(0.5), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = ChannelHistory::new(64);
+        (0..n)
+            .map(|_| {
+                let d = s.decide(&h, &b, &mut rng);
+                h.push(&SlotTruth::IDLE);
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oneshot_pattern() {
+        let mut s = ScriptedJammer::new(vec![true, false, true], false);
+        assert_eq!(play(&mut s, 5), vec![true, false, true, false, false]);
+    }
+
+    #[test]
+    fn repeating_pattern() {
+        let mut s = ScriptedJammer::new(vec![true, false], true);
+        assert_eq!(play(&mut s, 5), vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn empty_pattern_is_idle() {
+        let mut s = ScriptedJammer::new(vec![], true);
+        assert_eq!(play(&mut s, 3), vec![false, false, false]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Schedule-aware jamming of oblivious sweep protocols.
+
+use crate::budget::JamBudget;
+use crate::traits::JamStrategy;
+use jle_radio::HistoryView;
+use rand::RngCore;
+
+/// Targets the cyclic probability sweep of `BackoffProtocol`-style
+/// oblivious protocols (cycle `R = 1, 2, …`, one slot per probability
+/// `2^{-1} … 2^{-R}`).
+///
+/// Because the schedule never reacts to the channel, the exponent `r`
+/// used in any slot is a pure function of the slot index; the jammer
+/// replays it and requests a jam exactly when `|r − log₂ n|` is within
+/// `band` — the slots whose `Single` probability is non-negligible. This
+/// is the natural attack on any no-CD protocol: without collision
+/// detection a protocol cannot estimate `n` adaptively and is driven to
+/// oblivious sweeps, whose useful slots are few, predictable, and cheap
+/// to jam (experiment E21).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTargetedJammer {
+    log2_n: f64,
+    band: f64,
+}
+
+impl SweepTargetedJammer {
+    /// `n` — the true network size (granted to the adversary by the
+    /// model); `band` — half-width of the targeted exponent window.
+    pub fn new(n: u64, band: f64) -> Self {
+        SweepTargetedJammer { log2_n: (n.max(1) as f64).log2(), band }
+    }
+
+    /// The sweep exponent used at a given global slot (mirrors
+    /// `BackoffProtocol`'s schedule: cycles of length 1, 2, 3, …).
+    pub fn exponent_at(slot: u64) -> u32 {
+        // Find the cycle R with triangular(R-1) <= slot < triangular(R).
+        // slot is 0-based; triangular(R) = R(R+1)/2.
+        let r = ((((8 * slot + 1) as f64).sqrt() - 1.0) / 2.0).floor() as u64;
+        // `r` cycles are complete before this slot; position in cycle:
+        let start = r * (r + 1) / 2;
+        (slot - start + 1) as u32
+    }
+}
+
+impl JamStrategy for SweepTargetedJammer {
+    fn name(&self) -> &'static str {
+        "sweep-targeted"
+    }
+
+    fn decide(
+        &mut self,
+        history: &dyn HistoryView,
+        _: &JamBudget,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        let r = Self::exponent_at(history.now()) as f64;
+        (r - self.log2_n).abs() <= self.band
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_schedule_matches_backoff() {
+        // Backoff positions: [1], [1,2], [1,2,3], [1,2,3,4] …
+        let expect = [1u32, 1, 2, 1, 2, 3, 1, 2, 3, 4, 1, 2, 3, 4, 5];
+        for (slot, &want) in expect.iter().enumerate() {
+            assert_eq!(
+                SweepTargetedJammer::exponent_at(slot as u64),
+                want,
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_schedule_far_out() {
+        // Cycle 1000 starts at triangular(999) = 499500.
+        assert_eq!(SweepTargetedJammer::exponent_at(499_500), 1);
+        assert_eq!(SweepTargetedJammer::exponent_at(499_500 + 999), 1000);
+    }
+
+    #[test]
+    fn targets_only_the_dangerous_window() {
+        use crate::rate::Rate;
+        use jle_radio::{ChannelHistory, SlotTruth};
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut s = SweepTargetedJammer::new(256, 2.0); // log2 n = 8, window r in [6, 10]
+        let b = JamBudget::new(Rate::from_f64(0.5), 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = ChannelHistory::new(4096);
+        let mut requested = Vec::new();
+        for slot in 0..200u64 {
+            let want = s.decide(&h, &b, &mut rng);
+            let r = SweepTargetedJammer::exponent_at(slot);
+            assert_eq!(want, (6..=10).contains(&r), "slot {slot} r={r}");
+            requested.push(want);
+            h.push(&SlotTruth::IDLE);
+        }
+        assert!(requested.iter().any(|&w| w), "window must be hit in 200 slots");
+        assert!(!requested.iter().all(|&w| w), "must save budget outside the window");
+    }
+}

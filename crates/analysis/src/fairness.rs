@@ -1,0 +1,62 @@
+//! Fairness metrics for channel-allocation experiments.
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)` ∈ `[1/n, 1]`.
+///
+/// 1 means perfectly equal allocation; `1/n` means one participant gets
+/// everything. Returns 1.0 for an empty or all-zero allocation (vacuously
+/// fair).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+/// Minimum share of the total received by any participant (0 when the
+/// total is 0).
+pub fn min_share(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    xs.iter().cloned().fold(f64::MAX, f64::min) / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair() {
+        assert!((jain_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_unfair() {
+        let n = 5;
+        let mut xs = vec![0.0; n];
+        xs[2] = 10.0;
+        assert!((jain_index(&xs) - 1.0 / n as f64).abs() < 1e-12);
+        assert_eq!(min_share(&xs), 0.0);
+    }
+
+    #[test]
+    fn intermediate() {
+        let j = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(j > 1.0 / 3.0 && j < 1.0, "jain {j}");
+        let ms = min_share(&[1.0, 2.0, 3.0]);
+        assert!((ms - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(min_share(&[]), 0.0);
+    }
+}

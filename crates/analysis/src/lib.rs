@@ -1,0 +1,26 @@
+//! # jle-analysis — measurement toolkit
+//!
+//! Statistics, regression, histograms, series algebra and table rendering
+//! for the reproduction experiments. Everything is plain data (serde) so
+//! experiment outputs can be archived and re-rendered.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod fairness;
+pub mod histogram;
+pub mod regression;
+pub mod series;
+pub mod stats;
+pub mod svgplot;
+pub mod table;
+
+pub use bootstrap::{bootstrap_ci, median_ci, ConfInterval};
+pub use fairness::{jain_index, min_share};
+pub use histogram::Histogram;
+pub use regression::{linear_fit, log2_fit, LinearFit};
+pub use series::Series;
+pub use stats::{percentile, Summary};
+pub use svgplot::{Figure, Scale};
+pub use table::{fmt, Table};

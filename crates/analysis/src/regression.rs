@@ -1,0 +1,106 @@
+//! Least-squares fits for scaling-law checks.
+//!
+//! Experiment E1 validates Theorem 2.6 by fitting `slots ~ a + b·log₂ n`
+//! and checking the fit quality; E3/E5 fit against `T` and `T·loglog T`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit; 0 when the
+    /// response is constant and perfectly predicted).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// Returns `None` with fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { intercept, slope, r_squared })
+}
+
+/// Fit `y ≈ a + b·log₂(x)` — the scaling check for `O(log n)` claims.
+pub fn log2_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0)
+        .map(|p| (p.0.log2(), p.1))
+        .collect();
+    linear_fit(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_good_but_imperfect_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 1.0 + 4.0 * x + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 4.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn log2_fit_recovers_log_scaling() {
+        let pts: Vec<(f64, f64)> = (4..20)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 10.0 + 7.0 * n.log2())
+            })
+            .collect();
+        let fit = log2_fit(&pts).unwrap();
+        assert!((fit.slope - 7.0).abs() < 1e-9);
+        assert!((fit.intercept - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "zero x-variance");
+        // Constant y: perfect fit with slope 0.
+        let fit = linear_fit(&[(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Named (x, y) series — the unit of experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` points, e.g. `slots` vs `n`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name (appears in tables and CSV headers).
+    pub name: String,
+    /// The data points, in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Point-wise ratio `self / other`, matching on x (both series must
+    /// cover the same x grid in the same order).
+    ///
+    /// # Panics
+    /// Panics on grid mismatch.
+    pub fn ratio(&self, other: &Series) -> Series {
+        assert_eq!(self.points.len(), other.points.len(), "series length mismatch");
+        let mut out = Series::new(format!("{}/{}", self.name, other.name));
+        for (&(xa, ya), &(xb, yb)) in self.points.iter().zip(&other.points) {
+            assert!((xa - xb).abs() < 1e-9, "x grids differ: {xa} vs {xb}");
+            out.push(xa, if yb == 0.0 { f64::NAN } else { ya / yb });
+        }
+        out
+    }
+
+    /// Maximum y value (NaNs ignored).
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .filter(|y| !y.is_nan())
+            .max_by(f64::total_cmp)
+    }
+
+    /// Whether y is non-decreasing along the series (tolerance `tol`).
+    pub fn is_monotone_nondecreasing(&self, tol: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_matching_grids() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for x in [1.0, 2.0, 4.0] {
+            a.push(x, 10.0 * x);
+            b.push(x, 5.0 * x);
+        }
+        let r = a.ratio(&b);
+        assert_eq!(r.name, "a/b");
+        assert!(r.points.iter().all(|&(_, y)| (y - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ratio_div_zero_is_nan() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        a.push(1.0, 3.0);
+        b.push(1.0, 0.0);
+        assert!(a.ratio(&b).points[0].1.is_nan());
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut s = Series::new("s");
+        s.push(1.0, 1.0);
+        s.push(2.0, 2.0);
+        s.push(3.0, 1.95);
+        assert!(s.is_monotone_nondecreasing(0.1));
+        assert!(!s.is_monotone_nondecreasing(0.0));
+        assert_eq!(s.max_y(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn ratio_length_checked() {
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        let b = Series::new("b");
+        let _ = a.ratio(&b);
+    }
+}

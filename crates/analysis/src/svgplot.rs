@@ -1,0 +1,347 @@
+//! Dependency-free SVG line/scatter charts for experiment figures.
+//!
+//! Each experiment's headline sweep is emitted as a small standalone SVG
+//! (`results/<id>*.svg`) so the reproduction produces *figures*, not just
+//! tables. The renderer is deliberately minimal: linear or log₂ axes,
+//! polyline series with distinct dash patterns, point markers, a legend,
+//! and tick labels. No styling dependencies — the output opens in any
+//! browser.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-2 logarithmic axis (experiments sweep powers of two).
+    Log2,
+}
+
+impl Scale {
+    fn transform(self, v: f64) -> f64 {
+        match self {
+            Scale::Linear => v,
+            Scale::Log2 => v.max(f64::MIN_POSITIVE).log2(),
+        }
+    }
+
+    fn label(self, v: f64) -> String {
+        match self {
+            Scale::Linear => trim_float(v),
+            Scale::Log2 => {
+                // v is in transformed (log2) space for tick placement.
+                let raw = v.exp2();
+                if raw >= 1024.0 {
+                    format!("2^{}", v.round() as i64)
+                } else {
+                    trim_float(raw)
+                }
+            }
+        }
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A renderable figure: titled axes plus any number of series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 170.0;
+const MARGIN_T: f64 = 45.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+impl Figure {
+    /// New empty figure with linear axes.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use a log₂ x-axis.
+    pub fn log_x(mut self) -> Self {
+        self.x_scale = Scale::Log2;
+        self
+    }
+
+    /// Use a log₂ y-axis.
+    pub fn log_y(mut self) -> Self {
+        self.y_scale = Scale::Log2;
+        self
+    }
+
+    /// Add a series.
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .filter(|p| !p.0.is_nan() && !p.1.is_nan())
+            .map(|&(x, y)| (self.x_scale.transform(x), self.y_scale.transform(y)))
+            .peekable();
+        pts.peek()?;
+        let (mut x0, mut x1, mut y0, mut y1) =
+            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for (x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 1.0;
+            x1 += 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 1.0;
+            y1 += 1.0;
+        }
+        // 5% headroom on y.
+        let pad = (y1 - y0) * 0.05;
+        Some((x0, x1, y0 - pad, y1 + pad))
+    }
+
+    /// Render to an SVG string. Returns `None` if no drawable point
+    /// exists.
+    pub fn to_svg(&self) -> Option<String> {
+        let (x0, x1, y0, y1) = self.bounds()?;
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (self.x_scale.transform(x) - x0) / (x1 - x0) * plot_w;
+        let sy = |y: f64| {
+            MARGIN_T + plot_h - (self.y_scale.transform(y) - y0) / (y1 - y0) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Ticks: 5 per axis in transformed space.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let px = MARGIN_L + plot_w * i as f64 / 4.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#999" stroke-dasharray="2,4"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{px}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                self.x_scale.label(fx)
+            );
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let py = MARGIN_T + plot_h - plot_h * i as f64 / 4.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#999" stroke-dasharray="2,4"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                self.y_scale.label(fy)
+            );
+        }
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let dash = match si / PALETTE.len() {
+                0 => "",
+                _ => r#" stroke-dasharray="6,3""#,
+            };
+            let mut path = String::new();
+            for (pi, &(x, y)) in
+                s.points.iter().filter(|p| !p.0.is_nan() && !p.1.is_nan()).enumerate()
+            {
+                let _ = write!(path, "{}{:.1},{:.1} ", if pi == 0 { "M" } else { "L" }, sx(x), sy(y));
+            }
+            if !path.is_empty() {
+                let _ = write!(
+                    svg,
+                    r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"{dash}/>"#,
+                    path.trim_end()
+                );
+            }
+            for &(x, y) in s.points.iter().filter(|p| !p.0.is_nan() && !p.1.is_nan()) {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + si as f64 * 18.0;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 20.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                lx + 26.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>");
+        Some(svg)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series(name: &str, slope: f64) -> Series {
+        let mut s = Series::new(name);
+        for k in 1..=8 {
+            s.push((1u64 << k) as f64, slope * k as f64 + 3.0);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let fig = Figure::new("title", "n", "slots")
+            .log_x()
+            .with_series(sample_series("a", 2.0))
+            .with_series(sample_series("b", 5.0));
+        let svg = fig.to_svg().unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("title"));
+        assert!(svg.matches("<path").count() == 2, "one polyline per series");
+        assert!(svg.matches("<circle").count() == 16, "one marker per point");
+        assert!(svg.contains(">a</text>") && svg.contains(">b</text>"), "legend entries");
+    }
+
+    #[test]
+    fn empty_figure_is_none() {
+        assert!(Figure::new("t", "x", "y").to_svg().is_none());
+        let empty = Figure::new("t", "x", "y").with_series(Series::new("e"));
+        assert!(empty.to_svg().is_none());
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let mut s = Series::new("with-nan");
+        s.push(1.0, 2.0);
+        s.push(2.0, f64::NAN);
+        s.push(3.0, 4.0);
+        let svg = Figure::new("t", "x", "y").with_series(s).to_svg().unwrap();
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn log_axis_labels_use_powers() {
+        assert_eq!(Scale::Log2.label(12.0), "2^12");
+        assert_eq!(Scale::Log2.label(3.0), "8");
+        assert_eq!(Scale::Linear.label(7.0), "7");
+        assert_eq!(Scale::Linear.label(7.25), "7.25");
+    }
+
+    #[test]
+    fn degenerate_ranges_get_padding() {
+        // A single point must still produce a finite-viewport chart.
+        let mut s = Series::new("point");
+        s.push(5.0, 5.0);
+        let svg = Figure::new("t", "x", "y").with_series(s).to_svg().unwrap();
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut s = Series::new("a<b>&c");
+        s.push(1.0, 1.0);
+        s.push(2.0, 2.0);
+        let svg = Figure::new("x < y & z", "x", "y").with_series(s).to_svg().unwrap();
+        assert!(svg.contains("x &lt; y &amp; z"));
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(!svg.contains("<b>"));
+    }
+}

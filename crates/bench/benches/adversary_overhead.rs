@@ -1,0 +1,74 @@
+//! Criterion: per-slot cost of jamming strategies (decision + budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jle_adversary::{AdversarySpec, JamBudget, JamStrategyKind, Rate};
+use jle_radio::{ChannelHistory, SlotTruth};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+const SLOTS: u64 = 100_000;
+
+fn drive(spec: &AdversarySpec) -> u64 {
+    let mut strategy = spec.strategy();
+    let mut budget = spec.budget();
+    let mut history = ChannelHistory::new(4096);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut jams = 0u64;
+    for _ in 0..SLOTS {
+        let want = strategy.decide(&history, &budget, &mut rng);
+        let jam = want && budget.can_jam();
+        budget.advance(jam);
+        history.push(&SlotTruth::new(jams % 3, jam));
+        jams += jam as u64;
+    }
+    jams
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_slots");
+    group.throughput(Throughput::Elements(SLOTS));
+    let eps = Rate::from_f64(0.3);
+    let kinds: Vec<(&str, JamStrategyKind)> = vec![
+        ("none", JamStrategyKind::None),
+        ("saturating", JamStrategyKind::Saturating),
+        ("periodic", JamStrategyKind::PeriodicFront),
+        ("random", JamStrategyKind::Random { prob: 0.5 }),
+        ("reactive", JamStrategyKind::ReactiveNull),
+        (
+            "adaptive",
+            JamStrategyKind::AdaptiveEstimator { n: 1 << 16, protocol_eps: 0.3, band: 3.0, initial_u: 0.0 },
+        ),
+    ];
+    for (name, kind) in kinds {
+        let spec = AdversarySpec::new(eps, 64, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| black_box(drive(spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_window_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_try_jam");
+    group.throughput(Throughput::Elements(SLOTS));
+    for t in [4u64, 256, 16_384] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut budget = JamBudget::new(Rate::from_f64(0.3), t);
+                let mut jams = 0u64;
+                for _ in 0..SLOTS {
+                    jams += budget.try_jam() as u64;
+                }
+                black_box(jams)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies, bench_budget_window_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion: the `(T, 1−ε)` budget enforcer in isolation — the hot inner
+//! loop of every simulated slot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jle_adversary::{JamBudget, Rate};
+use std::hint::black_box;
+
+const OPS: u64 = 1_000_000;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_patterns");
+    group.throughput(Throughput::Elements(OPS));
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let mut budget = JamBudget::new(Rate::from_f64(0.5), 256);
+            let mut total = 0u64;
+            for _ in 0..OPS {
+                total += budget.try_jam() as u64;
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("skip_only", |b| {
+        b.iter(|| {
+            let mut budget = JamBudget::new(Rate::from_f64(0.5), 256);
+            for _ in 0..OPS {
+                budget.skip();
+            }
+            black_box(budget.now())
+        })
+    });
+
+    group.bench_function("alternating", |b| {
+        b.iter(|| {
+            let mut budget = JamBudget::new(Rate::from_f64(0.5), 256);
+            let mut total = 0u64;
+            for i in 0..OPS {
+                if i % 2 == 0 {
+                    total += budget.try_jam() as u64;
+                } else {
+                    budget.skip();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_eps_extremes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_eps");
+    group.throughput(Throughput::Elements(OPS));
+    for (name, eps) in [("tiny_eps", 0.01), ("half", 0.5), ("large_eps", 0.99)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut budget = JamBudget::new(Rate::from_f64(eps), 1024);
+                let mut total = 0u64;
+                for _ in 0..OPS {
+                    total += budget.try_jam() as u64;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_patterns, bench_eps_extremes
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion: wall-clock cost of complete elections per protocol and
+//! adversary (the micro-benchmark counterpart of experiments E1/E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{run_cohort, SimConfig};
+use jle_protocols::{ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol};
+use jle_radio::CdModel;
+use std::hint::black_box;
+
+fn sat(eps: f64, t: u64) -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::Saturating)
+}
+
+fn bench_lesk_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lesk_election");
+    for k in [8u32, 12, 16] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::new("no_jam", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+                black_box(run_cohort(&config, &AdversarySpec::passive(), || {
+                    LeskProtocol::new(0.5)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("saturating", n), &n, |b, &n| {
+            let adv = sat(0.5, 32);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+                black_box(run_cohort(&config, &adv, || LeskProtocol::new(0.5)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols_n1024_saturating");
+    let n = 1024u64;
+    let adv = sat(0.5, 32);
+    group.bench_function("lesk", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+            black_box(run_cohort(&config, &adv, || LeskProtocol::new(0.5)))
+        })
+    });
+    group.bench_function("lesu", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(100_000_000);
+            black_box(run_cohort(&config, &adv, LesuProtocol::new))
+        })
+    });
+    group.bench_function("arss", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(100_000_000);
+            black_box(run_cohort(&config, &adv, || {
+                ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, 32))
+            }))
+        })
+    });
+    group.bench_function("backoff_no_jam", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+            black_box(run_cohort(&config, &AdversarySpec::passive(), BackoffProtocol::new))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lesk_by_n, bench_protocol_comparison
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: per-slot simulation cost — cohort (n-independent) vs exact
+//! (O(n) per slot). Counterpart of experiment E15(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{run_cohort, run_exact, PerStation, SimConfig, UniformProtocol};
+use jle_radio::{CdModel, ChannelState};
+use std::hint::black_box;
+
+/// Never-resolving workload: every station always transmits.
+#[derive(Debug, Clone)]
+struct AlwaysCollide;
+impl UniformProtocol for AlwaysCollide {
+    fn tx_prob(&mut self, _: u64) -> f64 {
+        1.0
+    }
+    fn on_state(&mut self, _: u64, _: ChannelState) {}
+}
+
+fn sat() -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(0.5), 64, JamStrategyKind::Saturating)
+}
+
+fn bench_cohort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cohort_slots");
+    const SLOTS: u64 = 50_000;
+    group.throughput(Throughput::Elements(SLOTS));
+    for k in [10u32, 16, 20] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_cohort(&config, &adv, || AlwaysCollide))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_slots");
+    const SLOTS: u64 = 2_000;
+    group.throughput(Throughput::Elements(SLOTS));
+    for k in [6u32, 8, 10] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cohort, bench_exact
+}
+criterion_main!(benches);

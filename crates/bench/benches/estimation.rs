@@ -1,0 +1,54 @@
+//! Criterion: the `Estimation(2)` primitive and full LESU stacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{run_cohort, SimConfig};
+use jle_protocols::{EstimationProtocol, LesuProtocol};
+use jle_radio::CdModel;
+use std::hint::black_box;
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimation");
+    for k in [8u32, 14, 20] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::new("clean", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+                black_box(run_cohort(&config, &AdversarySpec::passive(), {
+                    EstimationProtocol::paper
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lesu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lesu_full_stack");
+    group.sample_size(10);
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), 32, JamStrategyKind::Saturating);
+    for k in [8u32, 12] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let config = SimConfig::new(n, CdModel::Strong)
+                    .with_seed(seed)
+                    .with_max_slots(100_000_000);
+                black_box(run_cohort(&config, &adv, LesuProtocol::new))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimation, bench_lesu
+}
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Single-scenario simulator CLI — run one election and print a JSON
+//! report (for scripting / downstream tooling).
+//!
+//! ```text
+//! simulate --n 1024 --protocol lesk --eps 0.5 --adversary saturating \
+//!          --adv-eps 0.5 --t-window 32 --cd strong --seed 7 [--trials 100]
+//! ```
+//!
+//! With `--trials k` the run is repeated over consecutive seeds and the
+//! JSON carries summary statistics instead of a single report.
+
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{run_cohort, run_exact, MonteCarlo, RunReport, SimConfig, StopRule};
+use jle_protocols::{lewk, lewu, ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol};
+use jle_radio::CdModel;
+use serde_json::json;
+
+#[derive(Debug, Clone)]
+struct Args {
+    n: u64,
+    protocol: String,
+    eps: f64,
+    adversary: String,
+    adv_eps: f64,
+    t_window: u64,
+    cd: CdModel,
+    seed: u64,
+    trials: u64,
+    max_slots: u64,
+    noise: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 64,
+        protocol: "lesk".into(),
+        eps: 0.5,
+        adversary: "saturating".into(),
+        adv_eps: 0.5,
+        t_window: 32,
+        cd: CdModel::Strong,
+        seed: 0,
+        trials: 1,
+        max_slots: 10_000_000,
+        noise: 0.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].clone();
+        let val = argv.get(i + 1).ok_or_else(|| format!("missing value for {key}"))?;
+        match key.as_str() {
+            "--n" => args.n = val.parse().map_err(|e| format!("--n: {e}"))?,
+            "--protocol" => args.protocol = val.clone(),
+            "--eps" => args.eps = val.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--adversary" => args.adversary = val.clone(),
+            "--adv-eps" => args.adv_eps = val.parse().map_err(|e| format!("--adv-eps: {e}"))?,
+            "--t-window" => args.t_window = val.parse().map_err(|e| format!("--t-window: {e}"))?,
+            "--cd" => {
+                args.cd = match val.as_str() {
+                    "strong" => CdModel::Strong,
+                    "weak" => CdModel::Weak,
+                    "none" | "nocd" | "no-cd" => CdModel::NoCd,
+                    other => return Err(format!("unknown CD model: {other}")),
+                }
+            }
+            "--seed" => args.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--trials" => args.trials = val.parse().map_err(|e| format!("--trials: {e}"))?,
+            "--max-slots" => {
+                args.max_slots = val.parse().map_err(|e| format!("--max-slots: {e}"))?
+            }
+            "--noise" => args.noise = val.parse().map_err(|e| format!("--noise: {e}"))?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn adversary_spec(args: &Args) -> Result<AdversarySpec, String> {
+    let rate = Rate::from_f64(args.adv_eps);
+    let kind = match args.adversary.as_str() {
+        "none" => return Ok(AdversarySpec::passive()),
+        "saturating" => JamStrategyKind::Saturating,
+        "periodic" | "periodic-front" => JamStrategyKind::PeriodicFront,
+        "random" => JamStrategyKind::Random { prob: 1.0 - args.adv_eps },
+        "reactive" | "reactive-null" => JamStrategyKind::ReactiveNull,
+        "burst" => JamStrategyKind::Burst { on: args.t_window, off: args.t_window },
+        "adaptive" => JamStrategyKind::AdaptiveEstimator {
+            n: args.n,
+            protocol_eps: args.eps,
+            band: 3.0,
+            initial_u: 0.0,
+        },
+        "sweep-targeted" => JamStrategyKind::SweepTargeted { n: args.n, band: 3.0 },
+        other => return Err(format!("unknown adversary: {other}")),
+    };
+    Ok(AdversarySpec::new(rate, args.t_window, kind))
+}
+
+fn run_one(args: &Args, adv: &AdversarySpec, seed: u64) -> Result<RunReport, String> {
+    let config = SimConfig::new(args.n, args.cd)
+        .with_seed(seed)
+        .with_max_slots(args.max_slots)
+        .with_noise(args.noise);
+    let eps = args.eps;
+    let n = args.n;
+    Ok(match args.protocol.as_str() {
+        "lesk" => run_cohort(&config, adv, || LeskProtocol::new(eps)),
+        "lesu" => run_cohort(&config, adv, LesuProtocol::new),
+        "backoff" => run_cohort(&config, adv, BackoffProtocol::new),
+        "willard" => run_cohort(&config, adv, WillardProtocol::new),
+        "arss" => run_cohort(&config, adv, || {
+            ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, adv.t_window))
+        }),
+        "lewk" => run_exact(
+            &config.with_stop(StopRule::AllTerminated),
+            adv,
+            |_| Box::new(lewk(eps)),
+        ),
+        "lewu" => run_exact(
+            &config.with_stop(StopRule::AllTerminated),
+            adv,
+            |_| Box::new(lewu()),
+        ),
+        other => return Err(format!("unknown protocol: {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: simulate [--n N] [--protocol lesk|lesu|lewk|lewu|backoff|willard|arss] \
+                 [--eps F] [--adversary none|saturating|periodic|random|reactive|burst|adaptive|sweep-targeted] \
+                 [--adv-eps F] [--t-window T] [--cd strong|weak|none] [--seed S] [--trials K] \
+                 [--max-slots M] [--noise Q]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let adv = match adversary_spec(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.trials <= 1 {
+        match run_one(&args, &adv, args.seed) {
+            Ok(r) => println!(
+                "{}",
+                serde_json::to_string_pretty(&json!({
+                    "config": {
+                        "n": args.n, "protocol": args.protocol, "eps": args.eps,
+                        "adversary": adv.label(), "cd": format!("{:?}", args.cd),
+                        "seed": args.seed, "noise": args.noise,
+                    },
+                    "slots": r.slots,
+                    "leader_elected": r.leader_elected(),
+                    "resolved_at": r.resolved_at,
+                    "winner": r.winner,
+                    "leaders": r.leaders,
+                    "timed_out": r.timed_out,
+                    "jam_fraction": r.jam_fraction(),
+                    "noise_slots": r.noise_slots,
+                    "counts": {
+                        "nulls": r.counts.nulls, "singles": r.counts.singles,
+                        "collisions": r.counts.collisions, "jammed": r.counts.jammed,
+                    },
+                    "energy": {
+                        "transmissions": r.energy.transmissions,
+                        "listens": r.energy.listens,
+                        "tx_per_station": r.tx_per_station(args.n),
+                    },
+                }))
+                .expect("json")
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let mc = MonteCarlo::new(args.trials, args.seed);
+    let reports: Vec<Result<RunReport, String>> =
+        mc.run(|seed| run_one(&args, &adv, seed));
+    let mut slots = Vec::new();
+    let mut successes = 0u64;
+    for r in &reports {
+        match r {
+            Ok(r) => {
+                slots.push(r.slots as f64);
+                successes += r.leader_elected() as u64;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let summary = jle_analysis::Summary::of(&slots).expect("non-empty");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&json!({
+            "config": {
+                "n": args.n, "protocol": args.protocol, "eps": args.eps,
+                "adversary": adv.label(), "cd": format!("{:?}", args.cd),
+                "base_seed": args.seed, "trials": args.trials, "noise": args.noise,
+            },
+            "success_rate": successes as f64 / args.trials as f64,
+            "slots": {
+                "mean": summary.mean, "median": summary.median,
+                "p90": summary.p90, "p99": summary.p99,
+                "min": summary.min, "max": summary.max,
+            },
+        }))
+        .expect("json")
+    );
+}

@@ -1,0 +1,151 @@
+//! Shared helpers for the reproduction experiments.
+
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_analysis::{Figure, Summary, Table};
+use jle_engine::{run_cohort, MonteCarlo, RunReport, SimConfig, UniformProtocol};
+use jle_radio::CdModel;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one experiment: named tables plus free-form notes, all
+/// renderable to markdown and CSV.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"e1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Which paper claim this validates.
+    pub paper_ref: String,
+    /// Named tables (name → table).
+    pub tables: Vec<(String, Table)>,
+    /// Figures rendered to `results/<id>_<k>.svg` by the CLI.
+    #[serde(skip)]
+    pub figures: Vec<Figure>,
+    /// Conclusions / measured headline numbers.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Create an empty result shell.
+    pub fn new(id: &str, title: &str, paper_ref: &str) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            paper_ref: paper_ref.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a table.
+    pub fn add_table(&mut self, name: &str, table: Table) {
+        self.tables.push((name.into(), table));
+    }
+
+    /// Append a figure (emitted as SVG by the experiments CLI).
+    pub fn add_figure(&mut self, figure: Figure) {
+        self.figures.push(figure);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render the whole result as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n*Validates: {}*\n\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.paper_ref
+        );
+        for (name, table) in &self.tables {
+            out.push_str(&format!("### {name}\n\n{}\n", table.to_markdown()));
+        }
+        if !self.notes.is_empty() {
+            out.push_str("### Findings\n\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A saturating `(T, 1−ε)` adversary spec.
+pub fn saturating(eps: f64, t_window: u64) -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating)
+}
+
+/// Run `trials` cohort elections and return the per-trial slot counts
+/// (timeouts are reported as `max_slots`, plus the timeout count).
+pub fn election_slots<U, F>(
+    n: u64,
+    cd: CdModel,
+    adv: &AdversarySpec,
+    trials: u64,
+    base_seed: u64,
+    max_slots: u64,
+    factory: F,
+) -> (Vec<f64>, u64)
+where
+    U: UniformProtocol,
+    F: Fn() -> U + Sync,
+{
+    let mc = MonteCarlo::new(trials, base_seed);
+    let reports: Vec<RunReport> = mc.run(|seed| {
+        let config = SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
+        run_cohort(&config, adv, &factory)
+    });
+    let timeouts = reports.iter().filter(|r| r.timed_out).count() as u64;
+    (reports.iter().map(|r| r.slots as f64).collect(), timeouts)
+}
+
+/// Convenience: median of a sample (panics on empty).
+pub fn median(xs: &[f64]) -> f64 {
+    jle_analysis::percentile(xs, 0.5)
+}
+
+/// Render a [`Summary`] into `(median, mean, p90)` strings for tables.
+pub fn summary_cells(s: &Summary) -> (String, String, String) {
+    (
+        jle_analysis::fmt(s.median),
+        jle_analysis::fmt(s.mean),
+        jle_analysis::fmt(s.p90),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_protocols::LeskProtocol;
+
+    #[test]
+    fn experiment_result_renders() {
+        let mut r = ExperimentResult::new("e0", "smoke", "none");
+        let mut t = Table::new(["a"]);
+        t.push_row(["1"]);
+        r.add_table("main", t);
+        r.note("works");
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("### main"));
+        assert!(md.contains("- works"));
+    }
+
+    #[test]
+    fn election_slots_smoke() {
+        let (slots, timeouts) = election_slots(
+            64,
+            CdModel::Strong,
+            &AdversarySpec::passive(),
+            10,
+            1,
+            100_000,
+            || LeskProtocol::new(0.5),
+        );
+        assert_eq!(slots.len(), 10);
+        assert_eq!(timeouts, 0);
+        assert!(median(&slots) > 0.0);
+    }
+}

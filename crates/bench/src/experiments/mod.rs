@@ -1,0 +1,76 @@
+//! The reproduction experiments, one module per paper claim.
+//!
+//! See `DESIGN.md` §5 for the full index. Every experiment is a pure
+//! function `run(quick: bool) -> ExperimentResult`; `quick = true` trims
+//! sweeps and trial counts for smoke tests, `quick = false` is the full
+//! reproduction recorded in `EXPERIMENTS.md`.
+
+pub mod e01_runtime_vs_n;
+pub mod e02_runtime_vs_eps;
+pub mod e03_runtime_vs_t;
+pub mod e04_lesu_vs_n;
+pub mod e05_lesu_vs_t;
+pub mod e06_weak_cd;
+pub mod e07_baselines;
+pub mod e08_lower_bound;
+pub mod e09_whp;
+pub mod e10_trajectory;
+pub mod e11_taxonomy;
+pub mod e12_estimation;
+pub mod e13_energy;
+pub mod e14_adversaries;
+pub mod e15_engines;
+pub mod e16_k_selection;
+pub mod e17_size_approx;
+pub mod e18_oracle;
+pub mod e19_fair_use;
+pub mod e20_increment;
+pub mod e21_no_cd;
+pub mod e22_noise;
+pub mod e23_duty_cycle;
+
+use crate::common::ExperimentResult;
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 23] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
+];
+
+/// Run one experiment by id. Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
+    Some(match id {
+        "e1" => e01_runtime_vs_n::run(quick),
+        "e2" => e02_runtime_vs_eps::run(quick),
+        "e3" => e03_runtime_vs_t::run(quick),
+        "e4" => e04_lesu_vs_n::run(quick),
+        "e5" => e05_lesu_vs_t::run(quick),
+        "e6" => e06_weak_cd::run(quick),
+        "e7" => e07_baselines::run(quick),
+        "e8" => e08_lower_bound::run(quick),
+        "e9" => e09_whp::run(quick),
+        "e10" => e10_trajectory::run(quick),
+        "e11" => e11_taxonomy::run(quick),
+        "e12" => e12_estimation::run(quick),
+        "e13" => e13_energy::run(quick),
+        "e14" => e14_adversaries::run(quick),
+        "e15" => e15_engines::run(quick),
+        "e16" => e16_k_selection::run(quick),
+        "e17" => e17_size_approx::run(quick),
+        "e18" => e18_oracle::run(quick),
+        "e19" => e19_fair_use::run(quick),
+        "e20" => e20_increment::run(quick),
+        "e21" => e21_no_cd::run(quick),
+        "e22" => e22_noise::run(quick),
+        "e23" => e23_duty_cycle::run(quick),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(super::run_by_id("e99", true).is_none());
+    }
+}

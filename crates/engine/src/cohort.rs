@@ -1,0 +1,443 @@
+//! The cohort simulator: O(1) work per slot for uniform protocols.
+//!
+//! The paper's protocols are *uniform* (Section 1.1): every station
+//! transmits with the same, history-determined probability. All stations
+//! therefore share one state, and the number of transmitters in a slot is
+//! `Binomial(n, p)` — the simulator tracks a single protocol copy and
+//! samples the transmitter count directly, making per-slot cost
+//! independent of `n`. This is what lets experiments sweep to `n = 2^20`
+//! and beyond.
+//!
+//! **Lockstep invariant.** Under weak-CD a transmitter's feedback is an
+//! assumed `Collision` while listeners see the true state; the two
+//! disagree only in an *unjammed Single* slot — which ends the run — so
+//! the single shared state remains exact for every continuing slot (see
+//! `DESIGN.md` §4). Under strong-CD everyone sees the truth. Under no-CD
+//! the engine collapses `Null` to `Collision` (listeners cannot tell) and
+//! the same argument applies.
+
+use crate::config::SimConfig;
+use crate::protocol::UniformProtocol;
+use crate::report::{EnergyStats, RunReport};
+use jle_adversary::AdversarySpec;
+use jle_radio::{CdModel, ChannelHistory, ChannelState, SlotTruth, Trace};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rand_distr::{Binomial, Distribution};
+
+const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Sample the number of transmitters among `n` stations each transmitting
+/// independently with probability `p`.
+#[inline]
+pub fn sample_transmitters(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
+    let p = p.clamp(0.0, 1.0);
+    if p == 0.0 || n == 0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // rand_distr's Binomial (inversion / BTPE) is exact for all regimes.
+    Binomial::new(n, p).expect("p validated").sample(rng)
+}
+
+/// Run a uniform protocol on the cohort engine.
+///
+/// Measures selection resolution: the run ends at the first unjammed
+/// `Single` (or when the protocol [`UniformProtocol::finished`]s, or at
+/// `max_slots`). Under strong-CD the resolving transmitter knows it won,
+/// so the report also carries a leader; under weak-CD leader *knowledge*
+/// requires the `Notification` wrapper, which runs on the exact engine.
+pub fn run_cohort<U: UniformProtocol>(
+    config: &SimConfig,
+    adversary: &AdversarySpec,
+    factory: impl FnOnce() -> U,
+) -> RunReport {
+    run_cohort_with(config, adversary, factory).0
+}
+
+/// Like [`run_cohort`], but also hands back the final protocol state —
+/// needed to read out protocol-internal results such as `Estimation`'s
+/// returned round.
+pub fn run_cohort_with<U: UniformProtocol>(
+    config: &SimConfig,
+    adversary: &AdversarySpec,
+    factory: impl FnOnce() -> U,
+) -> (RunReport, U) {
+    assert!(config.n >= 1, "need at least one station");
+    let mut proto = factory();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut adv_rng = SmallRng::seed_from_u64(config.seed ^ ADV_SEED_XOR);
+    let mut strategy = adversary.strategy();
+    let mut budget = adversary.budget();
+    let mut history = ChannelHistory::new(config.effective_retention(adversary.t_window));
+    let mut trace =
+        config.record_trace.then(|| Trace::with_capacity(config.max_slots.min(1 << 20) as usize));
+    let mut energy = EnergyStats::default();
+    let mut report = RunReport::default();
+
+    for slot in 0..config.max_slots {
+        if proto.finished() {
+            break;
+        }
+        // 1. Adversary commits before the stations draw.
+        let want = strategy.decide(&history, &budget, &mut adv_rng);
+        let jam = want && budget.can_jam();
+        budget.advance(jam);
+
+        // 2. Transmitter count, plus unbudgeted environmental noise.
+        let p = proto.tx_prob(slot);
+        let k = sample_transmitters(config.n, p, &mut rng);
+        let noisy = config.noise_prob > 0.0 && rng.gen_bool(config.noise_prob);
+        if noisy {
+            report.noise_slots += 1;
+        }
+        let truth = SlotTruth::new(k, jam || noisy);
+        energy.transmissions += k;
+        energy.listens += config.n - k;
+
+        // 3. Record.
+        if let Some(tr) = trace.as_mut() {
+            match proto.estimate() {
+                Some(u) => tr.push_with_estimate(&truth, u),
+                None => tr.push(&truth),
+            }
+        }
+        history.push(&truth);
+        report.slots = slot + 1;
+
+        // 4. Resolve or update.
+        if truth.is_clean_single() {
+            if report.resolved_at.is_none() {
+                report.resolved_at = Some(slot);
+                // The winner is uniform among the n symmetric stations.
+                report.winner = Some(rng.gen_range(0..config.n));
+            }
+            if !config.continue_past_singles {
+                break;
+            }
+        }
+        let state = match (config.cd, truth.observed()) {
+            (CdModel::NoCd, ChannelState::Null) => ChannelState::Collision,
+            (_, s) => s,
+        };
+        debug_assert!(
+            state != ChannelState::Single || config.continue_past_singles,
+            "clean Single already handled"
+        );
+        proto.on_state(slot, state);
+    }
+
+    if let Some(w) = report.winner {
+        if config.cd == CdModel::Strong {
+            report.leaders = vec![w];
+            report.all_terminated = true;
+        }
+    }
+    report.timed_out = report.resolved_at.is_none()
+        && !proto.finished()
+        && report.slots == config.max_slots;
+    {
+        use jle_radio::HistoryView;
+        report.counts = history.counts();
+    }
+    report.energy = energy;
+    report.trace = trace;
+    (report, proto)
+}
+
+/// **Negative control — deliberately violates the model.** Run a uniform
+/// protocol against an *oracle* jammer that decides **after** seeing the
+/// current slot's transmitter count, jamming exactly the would-be
+/// `Single`s (budget permitting).
+///
+/// The paper's adversary must commit "before it knows the actions of the
+/// nodes in the current slot" (Section 1.1). This function shows why that
+/// clause is load-bearing: an action-observing jammer with any
+/// non-trivial budget suppresses every `Single` it can afford, and since
+/// `Single`s are rare (≤ one expected per `e` slots at the optimum), a
+/// `(T, 1−ε)` budget with `⌊(1−ε)T⌋ ≥ 1` suffices to block elections
+/// essentially forever. Experiment E18 quantifies this.
+pub fn run_cohort_against_oracle<U: UniformProtocol>(
+    config: &SimConfig,
+    eps: jle_adversary::Rate,
+    t_window: u64,
+    factory: impl FnOnce() -> U,
+) -> RunReport {
+    assert!(config.n >= 1, "need at least one station");
+    let mut proto = factory();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut budget = jle_adversary::JamBudget::new(eps, t_window);
+    let mut energy = EnergyStats::default();
+    let mut report = RunReport::default();
+    let mut counts = jle_radio::history::StateCounts::default();
+
+    for slot in 0..config.max_slots {
+        if proto.finished() {
+            break;
+        }
+        let p = proto.tx_prob(slot);
+        let k = sample_transmitters(config.n, p, &mut rng);
+        // The cheat: decide with k in hand.
+        let jam = k == 1 && budget.can_jam();
+        budget.advance(jam);
+        let truth = SlotTruth::new(k, jam);
+        energy.transmissions += k;
+        energy.listens += config.n - k;
+        counts = {
+            let mut c = counts;
+            match truth.observed() {
+                ChannelState::Null => c.nulls += 1,
+                ChannelState::Single => c.singles += 1,
+                ChannelState::Collision => c.collisions += 1,
+            }
+            if jam {
+                c.jammed += 1;
+            }
+            c
+        };
+        report.slots = slot + 1;
+        if truth.is_clean_single() {
+            report.resolved_at = Some(slot);
+            report.winner = Some(rng.gen_range(0..config.n));
+            break;
+        }
+        let state = match (config.cd, truth.observed()) {
+            (CdModel::NoCd, ChannelState::Null) => ChannelState::Collision,
+            (_, s) => s,
+        };
+        proto.on_state(slot, state);
+    }
+    report.timed_out =
+        report.resolved_at.is_none() && !proto.finished() && report.slots == config.max_slots;
+    report.counts = counts;
+    report.energy = energy;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_adversary::{JamStrategyKind, Rate};
+
+    #[derive(Debug, Clone)]
+    struct Fixed(f64);
+    impl UniformProtocol for Fixed {
+        fn tx_prob(&mut self, _: u64) -> f64 {
+            self.0
+        }
+        fn on_state(&mut self, _: u64, _: ChannelState) {}
+    }
+
+    #[test]
+    fn oracle_jammer_blocks_elections() {
+        // The negative control: with the commit-first rule removed, a
+        // (T=16, 1-eps=0.95) oracle suppresses essentially every Single —
+        // a Single leaks only when 16 consecutive slots all carry one
+        // (prob ≈ 0.38^16 ≈ 2e-7 per window). The same budget under the
+        // fair commit-first rule cannot stop the election at all.
+        let eps = Rate::from_f64(0.05);
+        let config = SimConfig::new(16, CdModel::Strong).with_seed(4).with_max_slots(20_000);
+        let report = run_cohort_against_oracle(&config, eps, 16, || Fixed(1.0 / 16.0));
+        assert!(report.timed_out, "oracle must block the election");
+        assert_eq!(report.counts.singles, 0);
+        // Sanity: the same protocol under the *fair* saturating adversary
+        // with the same budget elects easily.
+        let spec = AdversarySpec::new(eps, 16, JamStrategyKind::Saturating);
+        let fair = run_cohort(&config, &spec, || Fixed(1.0 / 16.0));
+        assert!(fair.leader_elected());
+    }
+
+    #[test]
+    fn continue_past_singles_keeps_running() {
+        let config = SimConfig::new(1, CdModel::Strong)
+            .with_seed(1)
+            .with_max_slots(50)
+            .with_continue_past_singles(true);
+        // A lone always-transmitter: every unjammed slot is a Single.
+        let report = run_cohort(&config, &AdversarySpec::passive(), || Fixed(1.0));
+        assert_eq!(report.slots, 50, "must run to the cap");
+        assert_eq!(report.resolved_at, Some(0), "first single still recorded");
+        assert_eq!(report.counts.singles, 50);
+        assert!(!report.timed_out, "a resolved run is not a timeout");
+    }
+
+    #[test]
+    fn binomial_sampler_sanity() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(sample_transmitters(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_transmitters(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_transmitters(0, 0.5, &mut rng), 0);
+        let total: u64 = (0..2000).map(|_| sample_transmitters(100, 0.3, &mut rng)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn lone_station_resolves_at_zero() {
+        let config = SimConfig::new(1, CdModel::Strong).with_seed(1).with_max_slots(10);
+        let report = run_cohort(&config, &AdversarySpec::passive(), || Fixed(1.0));
+        assert_eq!(report.resolved_at, Some(0));
+        assert_eq!(report.winner, Some(0));
+        assert_eq!(report.leaders, vec![0]);
+    }
+
+    #[test]
+    fn saturated_channel_times_out() {
+        let config = SimConfig::new(5, CdModel::Strong).with_seed(1).with_max_slots(20);
+        let report = run_cohort(&config, &AdversarySpec::passive(), || Fixed(1.0));
+        assert!(report.timed_out);
+        assert_eq!(report.counts.collisions, 20);
+    }
+
+    #[test]
+    fn weak_cd_resolution_reports_no_leader() {
+        let config = SimConfig::new(4, CdModel::Weak).with_seed(2).with_max_slots(100_000);
+        let report = run_cohort(&config, &AdversarySpec::passive(), || Fixed(0.25));
+        assert!(report.resolved_at.is_some());
+        assert!(report.leaders.is_empty());
+        assert!(!report.all_terminated);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = SimConfig::new(64, CdModel::Strong).with_seed(33).with_max_slots(100_000);
+        let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
+        let a = run_cohort(&config, &spec, || Fixed(1.0 / 64.0));
+        let b = run_cohort(&config, &spec, || Fixed(1.0 / 64.0));
+        assert_eq!(a.resolved_at, b.resolved_at);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.winner, b.winner);
+    }
+
+    #[test]
+    fn finished_protocol_stops_engine() {
+        #[derive(Debug)]
+        struct CountDown(u32);
+        impl UniformProtocol for CountDown {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.0
+            }
+            fn on_state(&mut self, _: u64, _: ChannelState) {
+                self.0 -= 1;
+            }
+            fn finished(&self) -> bool {
+                self.0 == 0
+            }
+        }
+        let config = SimConfig::new(3, CdModel::Strong).with_seed(1).with_max_slots(100);
+        let report = run_cohort(&config, &AdversarySpec::passive(), || CountDown(7));
+        assert_eq!(report.slots, 7);
+        assert!(!report.timed_out);
+        assert_eq!(report.resolved_at, None);
+    }
+
+    #[test]
+    fn jam_fraction_tracks_budget() {
+        let spec = AdversarySpec::new(Rate::from_ratio(1, 4), 16, JamStrategyKind::Saturating);
+        let config = SimConfig::new(2, CdModel::Strong).with_seed(9).with_max_slots(4000);
+        let report = run_cohort(&config, &spec, || Fixed(1.0)); // never resolves
+        let frac = report.jam_fraction();
+        assert!(frac > 0.6 && frac <= 0.75 + 1e-9, "frac {frac}");
+    }
+
+    #[test]
+    fn no_cd_null_becomes_collision_for_protocol() {
+        #[derive(Debug, Default)]
+        struct SeenNull(bool);
+        impl UniformProtocol for SeenNull {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.0
+            }
+            fn on_state(&mut self, _: u64, s: ChannelState) {
+                if s == ChannelState::Null {
+                    self.0 = true;
+                }
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        // We cannot observe inner state after the run (moved), so use a
+        // panic-on-null protocol instead.
+        #[derive(Debug)]
+        struct PanicOnNull;
+        impl UniformProtocol for PanicOnNull {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.0
+            }
+            fn on_state(&mut self, _: u64, s: ChannelState) {
+                assert_ne!(s, ChannelState::Null, "no-CD must never surface Null");
+            }
+        }
+        let config = SimConfig::new(3, CdModel::NoCd).with_seed(1).with_max_slots(50);
+        let _ = run_cohort(&config, &AdversarySpec::passive(), || PanicOnNull);
+        let _ = SeenNull::default();
+    }
+}
+
+#[cfg(test)]
+mod noise_tests {
+    use super::*;
+    use jle_adversary::AdversarySpec;
+    use jle_radio::CdModel;
+
+    #[derive(Debug, Clone)]
+    struct Silent;
+    impl UniformProtocol for Silent {
+        fn tx_prob(&mut self, _: u64) -> f64 {
+            0.0
+        }
+        fn on_state(&mut self, _: u64, _: ChannelState) {}
+    }
+
+    #[derive(Debug, Clone)]
+    struct Fixed(f64);
+    impl UniformProtocol for Fixed {
+        fn tx_prob(&mut self, _: u64) -> f64 {
+            self.0
+        }
+        fn on_state(&mut self, _: u64, _: ChannelState) {}
+    }
+
+    #[test]
+    fn noise_corrupts_at_the_configured_rate() {
+        let config = SimConfig::new(4, CdModel::Strong)
+            .with_seed(5)
+            .with_max_slots(20_000)
+            .with_noise(0.25);
+        let r = run_cohort(&config, &AdversarySpec::passive(), || Silent);
+        let frac = r.noise_slots as f64 / r.slots as f64;
+        assert!((frac - 0.25).abs() < 0.02, "noise fraction {frac}");
+        // Noise reads as Collision; silent stations otherwise yield Nulls.
+        assert_eq!(r.counts.collisions, r.noise_slots);
+        assert_eq!(r.counts.jammed, r.noise_slots);
+        assert_eq!(r.counts.singles, 0);
+    }
+
+    #[test]
+    fn zero_noise_does_not_consume_randomness() {
+        // Adding the noise feature must not perturb noise-free runs.
+        let base = SimConfig::new(16, CdModel::Strong).with_seed(9).with_max_slots(100_000);
+        let a = run_cohort(&base, &AdversarySpec::passive(), || Fixed(0.1));
+        let b = run_cohort(&base.clone().with_noise(0.0), &AdversarySpec::passive(), || {
+            Fixed(0.1)
+        });
+        assert_eq!(a.resolved_at, b.resolved_at);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.noise_slots, 0);
+    }
+
+    #[test]
+    fn noise_destroys_singles_like_jamming() {
+        // A lone always-transmitter under heavy noise: only noise-free
+        // slots can resolve.
+        let config = SimConfig::new(1, CdModel::Strong)
+            .with_seed(3)
+            .with_max_slots(1_000)
+            .with_noise(0.9);
+        let r = run_cohort(&config, &AdversarySpec::passive(), || Fixed(1.0));
+        assert!(r.leader_elected());
+        assert!(r.resolved_at.unwrap() > 0 || r.noise_slots == 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The exact per-station simulator.
+//!
+//! Faithful to the model slot by slot: the adversary commits its jam
+//! decision first (it never sees current-slot actions), every running
+//! station then draws its action, the ground truth is resolved, and each
+//! station receives its CD-model-specific observation. Cost is O(n) per
+//! slot — use [`crate::cohort`] for uniform protocols at large `n`.
+
+use crate::config::{SimConfig, StopRule};
+use crate::protocol::{Action, Protocol, Status};
+use crate::report::{EnergyStats, RunReport};
+use jle_adversary::AdversarySpec;
+use jle_radio::{cd, ChannelHistory, SlotTruth, Trace};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Seed-stream separator so station randomness and adversary randomness
+/// are independent.
+const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Run one simulation with a fresh station set from `factory`.
+///
+/// `factory(i)` builds the protocol instance of station `i`; protocols
+/// needing distinct roles can inspect `i`, while symmetric protocols
+/// ignore it.
+pub fn run_exact(
+    config: &SimConfig,
+    adversary: &AdversarySpec,
+    mut factory: impl FnMut(u64) -> Box<dyn Protocol>,
+) -> RunReport {
+    assert!(config.n >= 1, "need at least one station");
+    let mut stations: Vec<Box<dyn Protocol>> =
+        (0..config.n).map(&mut factory).collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut adv_rng = SmallRng::seed_from_u64(config.seed ^ ADV_SEED_XOR);
+    let mut strategy = adversary.strategy();
+    let mut budget = adversary.budget();
+    let mut history = ChannelHistory::new(config.effective_retention(adversary.t_window));
+    let mut trace =
+        config.record_trace.then(|| Trace::with_capacity(config.max_slots.min(1 << 20) as usize));
+    let mut energy = EnergyStats::default();
+    let mut report = RunReport::default();
+    let mut transmitted = vec![false; stations.len()];
+    let mut asleep = vec![false; stations.len()];
+
+    for slot in 0..config.max_slots {
+        // 1. Adversary commits before seeing actions.
+        let want = strategy.decide(&history, &budget, &mut adv_rng);
+        let jam = want && budget.can_jam();
+        budget.advance(jam);
+
+        // 2. Running stations act.
+        let mut k = 0u64;
+        let mut lone_tx: Option<u64> = None;
+        let mut listeners = 0u64;
+        for (i, st) in stations.iter_mut().enumerate() {
+            transmitted[i] = false;
+            asleep[i] = false;
+            if st.status().terminal() {
+                asleep[i] = true; // terminated stations observe nothing
+                continue;
+            }
+            match st.act(slot, &mut rng) {
+                Action::Transmit => {
+                    transmitted[i] = true;
+                    k += 1;
+                    lone_tx = if k == 1 { Some(i as u64) } else { None };
+                }
+                Action::Listen => listeners += 1,
+                Action::Sleep => asleep[i] = true,
+            }
+        }
+        let noisy = config.noise_prob > 0.0 && {
+            use rand::Rng;
+            rng.gen_bool(config.noise_prob)
+        };
+        if noisy {
+            report.noise_slots += 1;
+        }
+        let truth = SlotTruth::new(k, jam || noisy);
+        energy.transmissions += k;
+        energy.listens += listeners;
+
+        // 3. Record.
+        if let Some(tr) = trace.as_mut() {
+            let est = stations
+                .iter()
+                .find(|s| !s.status().terminal())
+                .and_then(|s| s.estimate());
+            match est {
+                Some(u) => tr.push_with_estimate(&truth, u),
+                None => tr.push(&truth),
+            }
+        }
+        if truth.is_clean_single() && report.resolved_at.is_none() {
+            report.resolved_at = Some(slot);
+            report.winner = lone_tx;
+        }
+
+        // 4. Deliver observations to stations that participated (sleeping
+        // and terminated stations observe nothing).
+        for (i, st) in stations.iter_mut().enumerate() {
+            if asleep[i] && !transmitted[i] {
+                continue;
+            }
+            let obs = cd::observe(config.cd, transmitted[i], &truth);
+            st.feedback(slot, transmitted[i], obs);
+        }
+        history.push(&truth);
+        report.slots = slot + 1;
+
+        // 5. Stop rules.
+        match config.stop {
+            StopRule::FirstCleanSingle => {
+                if report.resolved_at.is_some() {
+                    break;
+                }
+            }
+            StopRule::AllTerminated => {
+                if stations.iter().all(|s| s.status().terminal()) {
+                    report.all_terminated = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    report.timed_out = match config.stop {
+        StopRule::FirstCleanSingle => report.resolved_at.is_none(),
+        StopRule::AllTerminated => !report.all_terminated,
+    };
+    report.leaders = stations
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.status() == Status::Leader)
+        .map(|(i, _)| i as u64)
+        .collect();
+    report.counts = {
+        use jle_radio::HistoryView;
+        history.counts()
+    };
+    report.energy = energy;
+    report.trace = trace;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PerStation, UniformProtocol};
+    use jle_adversary::{JamStrategyKind, Rate};
+    use jle_radio::{CdModel, ChannelState};
+
+    /// Uniform protocol transmitting with fixed probability forever.
+    #[derive(Debug, Clone)]
+    struct Fixed(f64);
+    impl UniformProtocol for Fixed {
+        fn tx_prob(&mut self, _: u64) -> f64 {
+            self.0
+        }
+        fn on_state(&mut self, _: u64, _: ChannelState) {}
+    }
+
+    fn passive() -> AdversarySpec {
+        AdversarySpec::passive()
+    }
+
+    #[test]
+    fn single_station_wins_immediately_strong_cd() {
+        let config = SimConfig::new(1, CdModel::Strong).with_seed(3).with_max_slots(10);
+        let report = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(1.0))));
+        assert_eq!(report.resolved_at, Some(0));
+        assert_eq!(report.winner, Some(0));
+        assert_eq!(report.leaders, vec![0]);
+        assert!(report.leader_elected());
+        assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn two_always_transmitters_never_resolve() {
+        let config = SimConfig::new(2, CdModel::Strong).with_seed(3).with_max_slots(50);
+        let report = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(1.0))));
+        assert!(report.timed_out);
+        assert_eq!(report.resolved_at, None);
+        assert_eq!(report.counts.collisions, 50);
+        assert_eq!(report.energy.transmissions, 100);
+    }
+
+    #[test]
+    fn coin_flip_eventually_resolves() {
+        let config = SimConfig::new(2, CdModel::Strong).with_seed(5).with_max_slots(10_000);
+        let report = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(0.5))));
+        assert!(report.leader_elected());
+        let w = report.winner.unwrap();
+        assert_eq!(report.leaders, vec![w]);
+    }
+
+    #[test]
+    fn weak_cd_winner_does_not_learn() {
+        // Under weak-CD the winner keeps Running: no station ends Leader.
+        let config = SimConfig::new(2, CdModel::Weak).with_seed(5).with_max_slots(10_000);
+        let report = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(0.5))));
+        assert!(report.resolved_at.is_some());
+        assert!(report.leaders.is_empty());
+        // Selection still counts as "elected" under FirstCleanSingle: the
+        // clean Single happened.
+        assert!(report.leader_elected());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = SimConfig::new(8, CdModel::Strong).with_seed(11).with_max_slots(100_000);
+        let a = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(0.25))));
+        let b = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(0.25))));
+        assert_eq!(a.resolved_at, b.resolved_at);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn jamming_suppresses_singles() {
+        // eps=1/2, T=2: adversary can jam every other slot. A lone
+        // always-transmitter resolves only in an unjammed slot.
+        let spec = AdversarySpec::new(Rate::from_f64(0.5), 2, JamStrategyKind::Saturating);
+        let config = SimConfig::new(1, CdModel::Strong).with_seed(1).with_max_slots(10);
+        let report = run_exact(&config, &spec, |_| Box::new(PerStation::new(Fixed(1.0))));
+        // Slot 0 is jammed (budget allows one of the first two), slot 1
+        // cannot be, so resolution happens at slot 1.
+        assert_eq!(report.resolved_at, Some(1));
+        assert_eq!(report.counts.jammed, 1);
+    }
+
+    #[test]
+    fn trace_recording_includes_estimates() {
+        #[derive(Debug, Clone)]
+        struct WithEstimate(f64);
+        impl UniformProtocol for WithEstimate {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.0
+            }
+            fn on_state(&mut self, _: u64, _: ChannelState) {
+                self.0 += 1.0;
+            }
+            fn estimate(&self) -> Option<f64> {
+                Some(self.0)
+            }
+        }
+        let config =
+            SimConfig::new(3, CdModel::Strong).with_seed(1).with_max_slots(5).with_trace(true);
+        let report =
+            run_exact(&config, &passive(), |_| Box::new(PerStation::new(WithEstimate(0.0))));
+        let trace = report.trace.expect("trace requested");
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.estimates.len(), 5);
+        assert_eq!(trace.estimates, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn all_terminated_stop_rule_reports_leaders() {
+        let config = SimConfig::new(1, CdModel::Strong)
+            .with_seed(3)
+            .with_max_slots(10)
+            .with_stop(StopRule::AllTerminated);
+        let report = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Fixed(1.0))));
+        assert!(report.all_terminated);
+        assert!(!report.timed_out);
+        assert_eq!(report.leaders, vec![0]);
+    }
+}

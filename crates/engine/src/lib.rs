@@ -1,0 +1,36 @@
+//! # jle-engine — discrete-slot simulation engine
+//!
+//! Drives protocols from `jle-protocols` against adversaries from
+//! `jle-adversary` over the channel model of `jle-radio`, one slot at a
+//! time, with the paper's information flow: the adversary commits its jam
+//! decision *before* station actions are drawn, stations receive
+//! observations filtered by the collision-detection model, and jammed
+//! slots are indistinguishable from collisions.
+//!
+//! Two simulators:
+//!
+//! * [`run_exact`] — per-station, O(n) per slot; required for role-split
+//!   protocols (`Notification`).
+//! * [`run_cohort`] — for the paper's *uniform* protocol class; tracks one
+//!   shared state and samples transmitter counts binomially, O(1) per slot
+//!   (n-independent), enabling sweeps to millions of stations.
+//!
+//! Plus the deterministic Rayon-parallel [`MonteCarlo`] driver used by all
+//! experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cohort;
+pub mod config;
+pub mod exact;
+pub mod protocol;
+pub mod report;
+pub mod runner;
+
+pub use cohort::{run_cohort, run_cohort_against_oracle, run_cohort_with, sample_transmitters};
+pub use config::{SimConfig, StopRule};
+pub use exact::run_exact;
+pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
+pub use report::{EnergyStats, RunReport};
+pub use runner::MonteCarlo;

@@ -1,0 +1,126 @@
+//! Per-run results.
+
+use jle_radio::history::StateCounts;
+use jle_radio::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting: total station-slot expenditures across the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyStats {
+    /// Station-slots spent transmitting.
+    pub transmissions: u64,
+    /// Station-slots spent listening.
+    pub listens: u64,
+}
+
+impl EnergyStats {
+    /// Total station-slots of activity.
+    pub fn total(&self) -> u64 {
+        self.transmissions + self.listens
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Slots consumed (= index after the last played slot).
+    pub slots: u64,
+    /// Slot index of the first unjammed `Single`, if one occurred.
+    pub resolved_at: Option<u64>,
+    /// Index of the station that transmitted the first clean `Single`.
+    pub winner: Option<u64>,
+    /// Stations that terminated with `Leader` status (exact engine only;
+    /// correctness demands this has length ≤ 1, and exactly 1 on success
+    /// under `StopRule::AllTerminated`).
+    pub leaders: Vec<u64>,
+    /// Whether every station terminated (meaningful for
+    /// `StopRule::AllTerminated`).
+    pub all_terminated: bool,
+    /// Whether the run hit the `max_slots` cap.
+    pub timed_out: bool,
+    /// Channel statistics over the whole run (`counts.jammed` includes
+    /// noise-corrupted slots — they are indistinguishable on the air).
+    pub counts: StateCounts,
+    /// Slots corrupted by environmental noise (see
+    /// `SimConfig::noise_prob`); subset of `counts.jammed`.
+    pub noise_slots: u64,
+    /// Energy accounting.
+    pub energy: EnergyStats,
+    /// Full trace if requested.
+    #[serde(skip)]
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// Whether a leader was successfully determined.
+    ///
+    /// * Under `FirstCleanSingle`: the first clean Single identifies the
+    ///   leader (strong-CD semantics / selection resolution).
+    /// * Under `AllTerminated`: exactly one station holds `Leader`.
+    pub fn leader_elected(&self) -> bool {
+        if self.timed_out {
+            return false;
+        }
+        if self.all_terminated || !self.leaders.is_empty() {
+            return self.leaders.len() == 1;
+        }
+        self.resolved_at.is_some()
+    }
+
+    /// Fraction of slots the adversary jammed.
+    pub fn jam_fraction(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.counts.jammed as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean transmissions per station (energy normalized by `n`).
+    pub fn tx_per_station(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.energy.transmissions as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_elected_rules() {
+        let mut r = RunReport::default();
+        assert!(!r.leader_elected());
+        r.resolved_at = Some(10);
+        assert!(r.leader_elected());
+        r.timed_out = true;
+        assert!(!r.leader_elected());
+        r.timed_out = false;
+        r.all_terminated = true;
+        assert!(!r.leader_elected(), "all terminated but no leader");
+        r.leaders = vec![3];
+        assert!(r.leader_elected());
+        r.leaders = vec![3, 5];
+        assert!(!r.leader_elected(), "two leaders is a correctness failure");
+    }
+
+    #[test]
+    fn fractions() {
+        let mut r = RunReport { slots: 100, ..Default::default() };
+        r.counts.jammed = 25;
+        assert!((r.jam_fraction() - 0.25).abs() < 1e-12);
+        r.energy.transmissions = 50;
+        assert!((r.tx_per_station(10) - 5.0).abs() < 1e-12);
+        assert_eq!(RunReport::default().jam_fraction(), 0.0);
+        assert_eq!(r.tx_per_station(0), 0.0);
+    }
+
+    #[test]
+    fn energy_total() {
+        let e = EnergyStats { transmissions: 3, listens: 7 };
+        assert_eq!(e.total(), 10);
+    }
+}

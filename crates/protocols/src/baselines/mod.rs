@@ -1,0 +1,21 @@
+//! Baseline protocols the reproduction compares against.
+//!
+//! * [`ArssMacProtocol`] — a reimplementation of the jamming-robust MAC
+//!   dynamics of Awerbuch, Richa, Scheideler, Schmid and Zhang (ACM TALG
+//!   2014), the prior state of the art the paper improves on
+//!   (`O(log⁴ n)` vs. LESK's `O(log n)` for constant ε).
+//! * [`BackoffProtocol`] — a classical oblivious sweep election (à la
+//!   Nakano–Olariu uniform protocols), fast without jamming, defenceless
+//!   with it.
+//! * [`WillardProtocol`] — Willard-style `O(log log n)` selection
+//!   resolution via doubling + binary search on the estimate; the fastest
+//!   clean-channel baseline and the most jamming-fragile one (every jam
+//!   reads as a `Collision` and pushes its search astray).
+
+pub mod arss_mac;
+pub mod backoff;
+pub mod willard;
+
+pub use arss_mac::ArssMacProtocol;
+pub use backoff::BackoffProtocol;
+pub use willard::WillardProtocol;

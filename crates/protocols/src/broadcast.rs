@@ -1,0 +1,47 @@
+//! The `Broadcast(u)` primitive (Functions 1 and 3 of the paper).
+//!
+//! Both the strong-CD and weak-CD variants "transmit with probability
+//! `2^{-u}`"; the difference is only in the returned feedback, which in
+//! this codebase is handled by the engine's observation model
+//! (`jle_radio::cd::observe`): a weak-CD transmitter receives
+//! `TxAssumedCollision`, exactly Function 3's "if transmitted then return
+//! Collision".
+
+/// Transmission probability for estimate `u`: `2^{-u}`, clamped to `[0,1]`.
+///
+/// `u` may be any non-negative real (LESK moves it in steps of `ε/8`);
+/// values so large that `2^{-u}` underflows simply yield probability 0.
+#[inline]
+pub fn tx_probability(u: f64) -> f64 {
+    if u <= 0.0 {
+        1.0
+    } else {
+        (-u).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two() {
+        assert_eq!(tx_probability(0.0), 1.0);
+        assert_eq!(tx_probability(1.0), 0.5);
+        assert_eq!(tx_probability(3.0), 0.125);
+        assert!((tx_probability(10.0) - 1.0 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fractional_estimates() {
+        let p = tx_probability(0.5);
+        assert!((p - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(tx_probability(-1.0), 1.0);
+        assert_eq!(tx_probability(5000.0), 0.0, "underflow clamps to zero");
+        assert!(tx_probability(1074.0) >= 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The slot taxonomy of the LESK analysis (Section 2.2).
+//!
+//! The proof of Theorem 2.6 partitions the slots of a run by the estimate
+//! `u` at the slot's start and the channel outcome:
+//!
+//! | class | condition |
+//! |---|---|
+//! | `E`  | jammed by the adversary |
+//! | `IS` (irregular silence)   | `u ≤ u₀ − log₂(2 ln a)` and `Null` |
+//! | `IC` (irregular collision) | `u ≥ u₀ + ½·log₂ a` and unjammed `Collision` |
+//! | `CS` (correcting silence)  | `u ≥ u₀ + ½·log₂ a + 1` and `Null` |
+//! | `CC` (correcting collision)| `u ≤ u₀ − log₂(2 ln a)` and unjammed `Collision` |
+//! | `R`  (regular)             | everything else |
+//!
+//! with `u₀ = log₂ n`, `a = 8/ε`. Lemma 2.3 relates the counters
+//! (`CS ≤ (IC+E)/a`, `CC ≤ a·IS + a·u₀`), Lemma 2.5 bounds `IS` and `IC`
+//! w.h.p., and Lemma 2.4 gives each regular slot a `Single` probability
+//! of at least `ln(a)/a²`. Experiment E11 recomputes all of this from
+//! recorded traces.
+
+use jle_radio::{ChannelState, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Per-class slot counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotTaxonomy {
+    /// Irregular silences.
+    pub is_count: u64,
+    /// Irregular collisions.
+    pub ic_count: u64,
+    /// Correcting silences.
+    pub cs_count: u64,
+    /// Correcting collisions.
+    pub cc_count: u64,
+    /// Adversary-jammed slots.
+    pub e_count: u64,
+    /// Regular slots.
+    pub r_count: u64,
+    /// The terminating `Single` (and any stray singles), kept separate.
+    pub single_count: u64,
+}
+
+impl SlotTaxonomy {
+    /// Total classified slots.
+    pub fn total(&self) -> u64 {
+        self.is_count
+            + self.ic_count
+            + self.cs_count
+            + self.cc_count
+            + self.e_count
+            + self.r_count
+            + self.single_count
+    }
+
+    /// Classify every slot of a recorded LESK trace.
+    ///
+    /// The trace must carry the per-slot estimates (`record_trace` with a
+    /// protocol exposing `estimate()`), which hold the value of `u` *at
+    /// the start* of each slot.
+    ///
+    /// # Panics
+    /// Panics if the trace has no estimate series.
+    pub fn from_trace(trace: &Trace, n: u64, eps: f64) -> Self {
+        assert_eq!(
+            trace.estimates.len(),
+            trace.len(),
+            "trace must carry one estimate per slot"
+        );
+        let u0 = (n.max(2) as f64).log2();
+        let a = 8.0 / eps;
+        let low = u0 - (2.0 * a.ln()).log2();
+        let high_ic = u0 + 0.5 * a.log2();
+        let high_cs = high_ic + 1.0;
+        let mut tax = SlotTaxonomy::default();
+        for (slot, u) in trace.iter().zip(trace.estimates.iter().copied()) {
+            if slot.jammed() {
+                tax.e_count += 1;
+                continue;
+            }
+            match slot.state() {
+                ChannelState::Single => tax.single_count += 1,
+                ChannelState::Null if u <= low => tax.is_count += 1,
+                ChannelState::Null if u >= high_cs => tax.cs_count += 1,
+                ChannelState::Collision if u >= high_ic => tax.ic_count += 1,
+                ChannelState::Collision if u <= low => tax.cc_count += 1,
+                _ => tax.r_count += 1,
+            }
+        }
+        tax
+    }
+
+    /// Lemma 2.5's w.h.p. ceiling for `IS`: `2t/a²` (with slack factor 1).
+    pub fn is_bound(t: u64, eps: f64) -> f64 {
+        let a = 8.0 / eps;
+        2.0 * t as f64 / (a * a)
+    }
+
+    /// Lemma 2.5's w.h.p. ceiling for `IC`: `2t/a`.
+    pub fn ic_bound(t: u64, eps: f64) -> f64 {
+        let a = 8.0 / eps;
+        2.0 * t as f64 / a
+    }
+
+    /// Lemma 2.3 point 4: `CS ≤ (IC + E)/a`.
+    pub fn cs_bound(&self, eps: f64) -> f64 {
+        let a = 8.0 / eps;
+        (self.ic_count + self.e_count) as f64 / a
+    }
+
+    /// Lemma 2.3 point 5: `CC ≤ a·IS + a·u₀`.
+    pub fn cc_bound(&self, n: u64, eps: f64) -> f64 {
+        let a = 8.0 / eps;
+        a * self.is_count as f64 + a * (n.max(2) as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_radio::SlotTruth;
+
+    fn mk_trace(entries: &[(u64, bool, f64)]) -> Trace {
+        // (transmitters, jammed, u)
+        let mut t = Trace::default();
+        for &(k, jam, u) in entries {
+            t.push_with_estimate(&SlotTruth::new(k, jam), u);
+        }
+        t
+    }
+
+    #[test]
+    fn classification_by_definition() {
+        // n = 256 → u0 = 8, eps = 0.5 → a = 16:
+        // low = 8 − log2(2 ln 16) ≈ 8 − 2.471 = 5.529
+        // high_ic = 8 + 2 = 10, high_cs = 11.
+        let n = 256;
+        let eps = 0.5;
+        let trace = mk_trace(&[
+            (0, false, 3.0),  // Null at low u → IS
+            (0, false, 12.0), // Null at very high u → CS
+            (0, false, 8.0),  // Null in band → R
+            (5, false, 12.0), // Collision at high u → IC
+            (5, false, 10.5), // Collision at u in [10, 11) → IC (>= high_ic)
+            (5, false, 3.0),  // Collision at low u → CC
+            (5, false, 8.0),  // Collision in band → R
+            (0, true, 8.0),   // jammed → E regardless
+            (1, true, 12.0),  // jammed single → E
+            (1, false, 8.0),  // clean Single
+        ]);
+        let tax = SlotTaxonomy::from_trace(&trace, n, eps);
+        assert_eq!(tax.is_count, 1);
+        assert_eq!(tax.cs_count, 1);
+        assert_eq!(tax.ic_count, 2);
+        assert_eq!(tax.cc_count, 1);
+        assert_eq!(tax.e_count, 2);
+        assert_eq!(tax.r_count, 2);
+        assert_eq!(tax.single_count, 1);
+        assert_eq!(tax.total(), 10);
+    }
+
+    #[test]
+    fn every_slot_classified_exactly_once() {
+        // Lemma 2.3 point 1: the classes partition the slots.
+        let entries: Vec<(u64, bool, f64)> = (0..1000)
+            .map(|i| ((i % 7) as u64, i % 11 == 0, (i % 17) as f64))
+            .collect();
+        let trace = mk_trace(&entries);
+        let tax = SlotTaxonomy::from_trace(&trace, 256, 0.5);
+        assert_eq!(tax.total(), 1000);
+    }
+
+    #[test]
+    fn bounds_are_positive_and_scale() {
+        assert!(SlotTaxonomy::is_bound(1000, 0.5) > 0.0);
+        assert!(SlotTaxonomy::ic_bound(1000, 0.5) > SlotTaxonomy::is_bound(1000, 0.5));
+        let tax = SlotTaxonomy { ic_count: 16, e_count: 16, is_count: 2, ..Default::default() };
+        assert!((tax.cs_bound(0.5) - 2.0).abs() < 1e-12);
+        assert!(tax.cc_bound(256, 0.5) >= 16.0 * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one estimate per slot")]
+    fn rejects_trace_without_estimates() {
+        let mut t = Trace::default();
+        t.push(&SlotTruth::new(0, false));
+        let _ = SlotTaxonomy::from_trace(&t, 16, 0.5);
+    }
+}

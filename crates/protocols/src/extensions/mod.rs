@@ -1,0 +1,25 @@
+//! Extensions built from the paper's primitives (Section 4: "we believe
+//! that some of the presented procedures can be also used as building
+//! blocks in constructions of other protocols including size
+//! approximation, k-selection or fair use of the wireless channel").
+//!
+//! * [`SizeApproxProtocol`] — jamming-robust network-size approximation
+//!   from LESK's estimate dynamics;
+//! * [`k_selection`] — electing `k` distinct leaders by continuing the
+//!   LESK dynamics past each `Single`, with winners retiring;
+//! * [`fair_use`] — rank assignment + TDMA, built to expose why fair use
+//!   *despite jamming* needs more than a public schedule.
+//!
+//! These are *our* constructions following the paper's suggestion; the
+//! paper proves nothing about them, so the corresponding experiments
+//! (E16/E17) report measured behaviour only.
+
+pub mod duty_cycle;
+pub mod fair_use;
+pub mod k_selection;
+pub mod size_approx;
+
+pub use duty_cycle::DutyCycledLesk;
+pub use fair_use::{run_fair_use, targeted_tdma_jammer, FairUseReport};
+pub use k_selection::{run_k_selection, KSelectionReport};
+pub use size_approx::SizeApproxProtocol;

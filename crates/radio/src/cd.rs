@@ -1,0 +1,174 @@
+//! Collision-detection models and the per-station observation function.
+
+use crate::slot::{ChannelState, NoCdState, SlotTruth};
+use serde::{Deserialize, Serialize};
+
+/// The collision-detection capability of the network (Section 1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CdModel {
+    /// Stations can transmit and listen simultaneously; everyone receives
+    /// the true three-valued channel state each slot.
+    Strong,
+    /// Only non-transmitting stations receive the channel state. A
+    /// transmitter learns nothing; the paper's weak `Broadcast`
+    /// (Function 3) has it *assume* a Collision.
+    Weak,
+    /// Listeners distinguish only Single vs. no-Single; transmitters learn
+    /// nothing. Included for completeness (robust election under no-CD is
+    /// an open problem per the paper's Section 4).
+    NoCd,
+}
+
+impl CdModel {
+    /// All supported models, for test matrices.
+    pub const ALL: [CdModel; 3] = [CdModel::Strong, CdModel::Weak, CdModel::NoCd];
+}
+
+/// What a single station perceives at the end of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Observation {
+    /// Full three-valued channel state (listener under strong/weak CD, or
+    /// any station under strong CD).
+    State(ChannelState),
+    /// no-CD listener view.
+    NoCd(NoCdState),
+    /// Transmitter under weak-CD or no-CD: no feedback; the paper's weak
+    /// `Broadcast` returns `Collision` in this case, which callers should
+    /// treat as the pessimistic assumption encoded here.
+    TxAssumedCollision,
+}
+
+impl Observation {
+    /// The channel state a protocol following the paper's `Broadcast`
+    /// conventions should act on.
+    ///
+    /// * strong-CD: the true state;
+    /// * weak-CD transmitter: `Collision` (Function 3: "if transmitted
+    ///   then return Collision");
+    /// * no-CD listener: `Single` maps to `Single`; `NoSingle` has no
+    ///   faithful three-valued image and is surfaced as `Collision` — only
+    ///   protocols explicitly written for no-CD should consume
+    ///   [`Observation::NoCd`] directly instead of calling this.
+    #[inline]
+    pub fn effective_state(&self) -> ChannelState {
+        match *self {
+            Observation::State(s) => s,
+            Observation::NoCd(NoCdState::Single) => ChannelState::Single,
+            Observation::NoCd(NoCdState::NoSingle) => ChannelState::Collision,
+            Observation::TxAssumedCollision => ChannelState::Collision,
+        }
+    }
+
+    /// Whether this observation tells the station a successful transmission
+    /// (a `Single`) happened in the slot.
+    #[inline]
+    pub fn heard_single(&self) -> bool {
+        matches!(
+            *self,
+            Observation::State(ChannelState::Single) | Observation::NoCd(NoCdState::Single)
+        )
+    }
+}
+
+/// Compute the observation of one station for one slot.
+///
+/// `transmitted` is whether *this* station transmitted in the slot;
+/// `truth` is the slot's ground truth.
+#[inline]
+pub fn observe(model: CdModel, transmitted: bool, truth: &SlotTruth) -> Observation {
+    match (model, transmitted) {
+        (CdModel::Strong, _) => Observation::State(truth.observed()),
+        (CdModel::Weak, false) => Observation::State(truth.observed()),
+        (CdModel::Weak, true) => Observation::TxAssumedCollision,
+        (CdModel::NoCd, false) => Observation::NoCd(truth.observed().into()),
+        (CdModel::NoCd, true) => Observation::TxAssumedCollision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_cd_gives_truth_to_everyone() {
+        let truth = SlotTruth::new(1, false);
+        assert_eq!(
+            observe(CdModel::Strong, true, &truth),
+            Observation::State(ChannelState::Single)
+        );
+        assert_eq!(
+            observe(CdModel::Strong, false, &truth),
+            Observation::State(ChannelState::Single)
+        );
+    }
+
+    #[test]
+    fn weak_cd_transmitter_assumes_collision() {
+        // Even on its own successful Single, the weak-CD transmitter does
+        // not find out — this is exactly why the paper needs Notification.
+        let truth = SlotTruth::new(1, false);
+        assert_eq!(observe(CdModel::Weak, true, &truth), Observation::TxAssumedCollision);
+        assert_eq!(
+            observe(CdModel::Weak, false, &truth),
+            Observation::State(ChannelState::Single)
+        );
+    }
+
+    #[test]
+    fn weak_cd_listener_sees_truth() {
+        for (k, jam, want) in [
+            (0u64, false, ChannelState::Null),
+            (1, false, ChannelState::Single),
+            (3, false, ChannelState::Collision),
+            (0, true, ChannelState::Collision),
+        ] {
+            let truth = SlotTruth::new(k, jam);
+            assert_eq!(observe(CdModel::Weak, false, &truth), Observation::State(want));
+        }
+    }
+
+    #[test]
+    fn no_cd_listener_two_valued() {
+        assert_eq!(
+            observe(CdModel::NoCd, false, &SlotTruth::new(0, false)),
+            Observation::NoCd(NoCdState::NoSingle)
+        );
+        assert_eq!(
+            observe(CdModel::NoCd, false, &SlotTruth::new(1, false)),
+            Observation::NoCd(NoCdState::Single)
+        );
+        assert_eq!(
+            observe(CdModel::NoCd, false, &SlotTruth::new(2, false)),
+            Observation::NoCd(NoCdState::NoSingle)
+        );
+    }
+
+    #[test]
+    fn effective_state_mapping() {
+        assert_eq!(
+            Observation::State(ChannelState::Null).effective_state(),
+            ChannelState::Null
+        );
+        assert_eq!(
+            Observation::TxAssumedCollision.effective_state(),
+            ChannelState::Collision
+        );
+        assert_eq!(
+            Observation::NoCd(NoCdState::NoSingle).effective_state(),
+            ChannelState::Collision
+        );
+        assert_eq!(
+            Observation::NoCd(NoCdState::Single).effective_state(),
+            ChannelState::Single
+        );
+    }
+
+    #[test]
+    fn heard_single() {
+        assert!(Observation::State(ChannelState::Single).heard_single());
+        assert!(Observation::NoCd(NoCdState::Single).heard_single());
+        assert!(!Observation::TxAssumedCollision.heard_single());
+        assert!(!Observation::State(ChannelState::Collision).heard_single());
+        assert!(!Observation::State(ChannelState::Null).heard_single());
+    }
+}

@@ -1,0 +1,40 @@
+//! # jle-radio — slotted single-hop radio channel model
+//!
+//! This crate is the physical-layer substrate of the reproduction of
+//! *Electing a Leader in Wireless Networks Quickly Despite Jamming*
+//! (Klonowski & Pająk, SPAA 2015). It models exactly the channel the paper
+//! assumes: time is divided into discrete slots; in each slot every station
+//! either transmits or listens; the channel takes one of three states —
+//! [`ChannelState::Null`] (no transmitter), [`ChannelState::Single`]
+//! (exactly one transmitter, message delivered) or
+//! [`ChannelState::Collision`] (two or more transmitters *or* an
+//! adversarially jammed slot — the two are indistinguishable to listeners).
+//!
+//! Three collision-detection (CD) regimes are supported ([`CdModel`]):
+//!
+//! * **strong-CD** — every station, including transmitters, learns the slot
+//!   state;
+//! * **weak-CD** — only listeners learn the state; a transmitter learns
+//!   nothing and, per the paper's weak `Broadcast` (Function 3), assumes
+//!   the slot was a Collision;
+//! * **no-CD** — listeners can only distinguish Single from no-Single.
+//!
+//! The crate also provides the deterministic interval partition
+//! C1/C2/C3 of the paper's Section 3 ([`partition`]), the per-slot
+//! ground-truth record ([`SlotTruth`]), compact slot traces ([`trace`]) and
+//! a bounded channel history for adaptive adversaries ([`history`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cd;
+pub mod history;
+pub mod partition;
+pub mod slot;
+pub mod trace;
+
+pub use cd::{CdModel, Observation};
+pub use history::{ChannelHistory, HistoryView};
+pub use partition::{Interval, SlotClass};
+pub use slot::{ChannelState, NoCdState, SlotTruth};
+pub use trace::{PackedSlot, Trace};

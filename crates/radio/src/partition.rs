@@ -1,0 +1,314 @@
+//! The C1/C2/C3 interval partition of the paper's Section 3.
+//!
+//! The `Notification` transformation (weak-CD leader election) splits the
+//! global slot timeline into three interleaved families of exponentially
+//! growing intervals:
+//!
+//! ```text
+//! C^i_1 = {3·2^i − 3, …, 4·2^i − 4}
+//! C^i_2 = {4·2^i − 3, …, 5·2^i − 4}
+//! C^i_3 = {5·2^i − 3, …, 6·2^i − 4}
+//! ```
+//!
+//! for `i ≥ 1`. Each interval has exactly `2^i` slots; consecutive
+//! intervals tile the timeline from slot 3 onwards (slots 0..=2 belong to
+//! no interval and are idle padding). For `i ≥ log₂ T` a
+//! `(T, 1−ε)`-bounded adversary cannot jam an entire interval — the
+//! property the notification handshake relies on.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the three interval families a slot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotClass {
+    /// Member of `C1` — the inner algorithm's first execution.
+    C1,
+    /// Member of `C2` — the inner algorithm's second execution.
+    C2,
+    /// Member of `C3` — the leader's notification channel.
+    C3,
+    /// Slots 0, 1, 2 — before the first interval; idle.
+    Padding,
+}
+
+/// A fully resolved interval coordinate: family `j`, level `i`, and the
+/// slot's offset within the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Level `i ≥ 1`; the interval contains `2^i` slots.
+    pub level: u32,
+    /// Family: 1, 2 or 3.
+    pub family: u8,
+    /// Offset of the slot within the interval, in `0..2^level`.
+    pub offset: u64,
+}
+
+impl Interval {
+    /// Number of slots in this interval (`2^level`).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Intervals are never empty; provided for clippy-idiomatic pairing
+    /// with [`Interval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First global slot of the interval: `(2 + family)·2^level − 3`.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        (2 + self.family as u64) * (1u64 << self.level) - 3
+    }
+
+    /// Last global slot of the interval: `(3 + family)·2^level − 4`.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        (3 + self.family as u64) * (1u64 << self.level) - 4
+    }
+
+    /// Whether this slot is the first of its interval — the point where
+    /// `Notification` restarts the inner algorithm with fresh randomness.
+    #[inline]
+    pub fn is_interval_start(&self) -> bool {
+        self.offset == 0
+    }
+
+    /// Whether this slot is the last of its interval.
+    #[inline]
+    pub fn is_interval_end(&self) -> bool {
+        self.offset + 1 == self.len()
+    }
+
+    /// The [`SlotClass`] of this interval's family.
+    #[inline]
+    pub fn class(&self) -> SlotClass {
+        match self.family {
+            1 => SlotClass::C1,
+            2 => SlotClass::C2,
+            _ => SlotClass::C3,
+        }
+    }
+}
+
+/// Resolve a global slot index to its interval coordinate.
+///
+/// Returns `None` for the padding slots 0, 1 and 2.
+///
+/// # Examples
+///
+/// ```
+/// use jle_radio::partition::{classify, SlotClass};
+///
+/// // C^1_1 = {3, 4}: the first C1 interval.
+/// let iv = classify(3).unwrap();
+/// assert_eq!((iv.level, iv.family, iv.offset), (1, 1, 0));
+/// assert_eq!(iv.class(), SlotClass::C1);
+/// assert!(classify(0).is_none()); // padding
+/// ```
+#[inline]
+pub fn classify(slot: u64) -> Option<Interval> {
+    if slot < 3 {
+        return None;
+    }
+    // slot + 3 ∈ [3·2^i, 6·2^i) determines the level i.
+    let x = slot + 3;
+    let i = (x / 3).ilog2();
+    let group_offset = x - 3 * (1u64 << i); // ∈ [0, 3·2^i)
+    let family = (group_offset >> i) as u8 + 1; // 1, 2 or 3
+    let offset = group_offset & ((1u64 << i) - 1);
+    Some(Interval { level: i, family, offset })
+}
+
+/// The class (C1/C2/C3/Padding) of a global slot.
+#[inline]
+pub fn class_of(slot: u64) -> SlotClass {
+    classify(slot).map_or(SlotClass::Padding, |iv| iv.class())
+}
+
+/// The first global slot of interval `C^level_family`.
+///
+/// # Panics
+/// Panics if `family ∉ {1,2,3}` or `level == 0`.
+pub fn interval_start(level: u32, family: u8) -> u64 {
+    assert!((1..=3).contains(&family), "family must be 1, 2 or 3");
+    assert!(level >= 1, "intervals start at level 1");
+    (2 + family as u64) * (1u64 << level) - 3
+}
+
+/// Iterator over the global slot indices of interval `C^level_family`.
+pub fn interval_slots(level: u32, family: u8) -> impl Iterator<Item = u64> {
+    let start = interval_start(level, family);
+    let len = 1u64 << level;
+    start..start + len
+}
+
+/// Smallest level `i` such that an interval of size `2^i` cannot be fully
+/// jammed by a `(T, 1−ε)`-bounded adversary, i.e. `2^i ≥ T` (`i ≥ log₂ T`).
+#[inline]
+pub fn safe_level(t_window: u64) -> u32 {
+    if t_window <= 1 {
+        1
+    } else {
+        (t_window - 1).ilog2() + 1
+    }
+    .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_level_one_and_two() {
+        // i = 1: C1 = {3,4}, C2 = {5,6}, C3 = {7,8}
+        for (slot, fam, off) in [(3, 1, 0), (4, 1, 1), (5, 2, 0), (6, 2, 1), (7, 3, 0), (8, 3, 1)]
+        {
+            let iv = classify(slot).unwrap();
+            assert_eq!((iv.level, iv.family, iv.offset), (1, fam, off), "slot {slot}");
+        }
+        // i = 2: C1 = {9..12}, C2 = {13..16}, C3 = {17..20}
+        assert_eq!(classify(9).unwrap(), Interval { level: 2, family: 1, offset: 0 });
+        assert_eq!(classify(12).unwrap(), Interval { level: 2, family: 1, offset: 3 });
+        assert_eq!(classify(13).unwrap(), Interval { level: 2, family: 2, offset: 0 });
+        assert_eq!(classify(16).unwrap(), Interval { level: 2, family: 2, offset: 3 });
+        assert_eq!(classify(17).unwrap(), Interval { level: 2, family: 3, offset: 0 });
+        assert_eq!(classify(20).unwrap(), Interval { level: 2, family: 3, offset: 3 });
+        // i = 3 starts right after: C1 = {21..28}
+        assert_eq!(classify(21).unwrap(), Interval { level: 3, family: 1, offset: 0 });
+    }
+
+    #[test]
+    fn padding_slots() {
+        assert_eq!(classify(0), None);
+        assert_eq!(classify(1), None);
+        assert_eq!(classify(2), None);
+        assert_eq!(class_of(0), SlotClass::Padding);
+        assert!(classify(3).is_some());
+    }
+
+    #[test]
+    fn tiling_is_contiguous_and_disjoint() {
+        // Every slot from 3 up maps to exactly one interval; the interval
+        // coordinates advance in the expected lexicographic order.
+        let mut prev: Option<Interval> = None;
+        for slot in 3u64..100_000 {
+            let iv = classify(slot).expect("slot >= 3 must classify");
+            assert!(iv.level >= 1);
+            assert!((1..=3).contains(&iv.family));
+            assert!(iv.offset < iv.len());
+            assert_eq!(iv.start() + iv.offset, slot, "start/offset must reconstruct slot");
+            if let Some(p) = prev {
+                if p.is_interval_end() {
+                    assert!(iv.is_interval_start());
+                    // next family or next level
+                    if p.family == 3 {
+                        assert_eq!(iv.level, p.level + 1);
+                        assert_eq!(iv.family, 1);
+                    } else {
+                        assert_eq!(iv.level, p.level);
+                        assert_eq!(iv.family, p.family + 1);
+                    }
+                } else {
+                    assert_eq!(iv.level, p.level);
+                    assert_eq!(iv.family, p.family);
+                    assert_eq!(iv.offset, p.offset + 1);
+                }
+            } else {
+                assert!(iv.is_interval_start());
+                assert_eq!(iv.level, 1);
+                assert_eq!(iv.family, 1);
+            }
+            prev = Some(iv);
+        }
+    }
+
+    #[test]
+    fn interval_bounds_match_paper_formulas() {
+        for i in 1u32..20 {
+            for j in 1u8..=3 {
+                let start = interval_start(i, j);
+                let iv = classify(start).unwrap();
+                assert_eq!(iv.level, i);
+                assert_eq!(iv.family, j);
+                assert_eq!(iv.offset, 0);
+                assert_eq!(iv.end() - iv.start() + 1, 1 << i);
+                let slots: Vec<u64> = interval_slots(i, j).collect();
+                assert_eq!(slots.len(), 1 << i);
+                assert_eq!(slots[0], iv.start());
+                assert_eq!(*slots.last().unwrap(), iv.end());
+            }
+        }
+    }
+
+    #[test]
+    fn safe_level_bounds() {
+        assert_eq!(safe_level(1), 1);
+        assert_eq!(safe_level(2), 1);
+        assert_eq!(safe_level(3), 2);
+        assert_eq!(safe_level(4), 2);
+        assert_eq!(safe_level(5), 3);
+        assert_eq!(safe_level(1024), 10);
+        assert_eq!(safe_level(1025), 11);
+        for t in 1u64..5000 {
+            let i = safe_level(t);
+            assert!(1u64 << i >= t, "2^{i} must be >= T={t}");
+            if i > 1 {
+                assert!((1u64 << (i - 1)) < t, "safe_level must be minimal for T={t}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// classify() and the interval formulas agree at arbitrary slots,
+        /// including far beyond the exhaustive test range.
+        #[test]
+        fn classify_reconstructs_slot(slot in 3u64..(1u64 << 40)) {
+            let iv = classify(slot).unwrap();
+            prop_assert!(iv.level >= 1);
+            prop_assert!((1..=3).contains(&iv.family));
+            prop_assert!(iv.offset < iv.len());
+            prop_assert_eq!(iv.start() + iv.offset, slot);
+            prop_assert_eq!(iv.end(), iv.start() + iv.len() - 1);
+            prop_assert_eq!(interval_start(iv.level, iv.family), iv.start());
+        }
+
+        /// Adjacent slots map to adjacent positions in the tiling.
+        #[test]
+        fn tiling_has_no_gaps(slot in 3u64..(1u64 << 40)) {
+            let a = classify(slot).unwrap();
+            let b = classify(slot + 1).unwrap();
+            if a.is_interval_end() {
+                prop_assert!(b.is_interval_start());
+                if a.family == 3 {
+                    prop_assert_eq!((b.level, b.family), (a.level + 1, 1));
+                } else {
+                    prop_assert_eq!((b.level, b.family), (a.level, a.family + 1));
+                }
+            } else {
+                prop_assert_eq!((b.level, b.family, b.offset), (a.level, a.family, a.offset + 1));
+            }
+        }
+
+        /// safe_level is the minimal level whose intervals a (T, 1-eps)
+        /// adversary cannot fully jam.
+        #[test]
+        fn safe_level_is_minimal(t in 1u64..(1u64 << 50)) {
+            let i = safe_level(t);
+            prop_assert!(1u64 << i >= t);
+            if i > 1 {
+                prop_assert!((1u64 << (i - 1)) < t);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Ground-truth slot outcomes and the three-valued channel state.
+
+use serde::{Deserialize, Serialize};
+
+/// The state of the channel as perceived by a *listening* station with
+/// collision detection.
+///
+/// Per Section 1.1 of the paper: `Null` — the channel is idle; `Single` —
+/// exactly one station transmits (all listeners receive the message);
+/// `Collision` — at least two stations transmit, **or** the adversary jams
+/// the slot (listeners cannot tell these apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelState {
+    /// No transmitter and no jamming: an idle slot.
+    Null,
+    /// Exactly one transmitter and no jamming: a successful transmission.
+    Single,
+    /// Two or more transmitters, or a jammed slot.
+    Collision,
+}
+
+impl ChannelState {
+    /// Compact 2-bit encoding used by [`crate::trace::PackedSlot`].
+    #[inline]
+    pub const fn code(self) -> u8 {
+        match self {
+            ChannelState::Null => 0,
+            ChannelState::Single => 1,
+            ChannelState::Collision => 2,
+        }
+    }
+
+    /// Inverse of [`ChannelState::code`].
+    ///
+    /// # Panics
+    /// Panics if `code > 2`.
+    #[inline]
+    pub const fn from_code(code: u8) -> Self {
+        match code {
+            0 => ChannelState::Null,
+            1 => ChannelState::Single,
+            2 => ChannelState::Collision,
+            _ => panic!("invalid ChannelState code"),
+        }
+    }
+}
+
+/// Listener view in the **no-CD** model: only "exactly one transmitter"
+/// versus "anything else" is distinguishable (Section 1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoCdState {
+    /// Exactly one transmitter and no jamming.
+    Single,
+    /// Zero or at least two transmitters, or a jammed slot.
+    NoSingle,
+}
+
+impl From<ChannelState> for NoCdState {
+    #[inline]
+    fn from(s: ChannelState) -> Self {
+        match s {
+            ChannelState::Single => NoCdState::Single,
+            _ => NoCdState::NoSingle,
+        }
+    }
+}
+
+/// The ground truth of one slot: how many stations transmitted and whether
+/// the adversary jammed it. Only the simulator sees this; stations see a
+/// projection of it through their [`crate::CdModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotTruth {
+    /// Number of stations that transmitted in the slot.
+    pub transmitters: u64,
+    /// Whether the adversary jammed the slot.
+    pub jammed: bool,
+}
+
+impl SlotTruth {
+    /// A quiet slot: nobody transmits, no jamming.
+    pub const IDLE: SlotTruth = SlotTruth { transmitters: 0, jammed: false };
+
+    /// Create a slot truth.
+    #[inline]
+    pub const fn new(transmitters: u64, jammed: bool) -> Self {
+        SlotTruth { transmitters, jammed }
+    }
+
+    /// The state a listening station with (weak or strong) collision
+    /// detection observes.
+    ///
+    /// A jammed slot always reads as [`ChannelState::Collision`], even when
+    /// zero or one stations transmitted: "to the listening stations, a
+    /// jammed slot is indistinguishable from the case of at least two
+    /// transmitters" (abstract of the paper). In particular jamming
+    /// destroys a would-be `Single`, and the adversary can never *create*
+    /// a `Null` or a `Single`.
+    #[inline]
+    pub const fn observed(&self) -> ChannelState {
+        if self.jammed {
+            ChannelState::Collision
+        } else {
+            match self.transmitters {
+                0 => ChannelState::Null,
+                1 => ChannelState::Single,
+                _ => ChannelState::Collision,
+            }
+        }
+    }
+
+    /// Whether the slot is an *unjammed successful transmission* — the only
+    /// event the adversary can neither fake nor (once it declined to jam)
+    /// prevent.
+    #[inline]
+    pub const fn is_clean_single(&self) -> bool {
+        !self.jammed && self.transmitters == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_truth_table() {
+        assert_eq!(SlotTruth::new(0, false).observed(), ChannelState::Null);
+        assert_eq!(SlotTruth::new(1, false).observed(), ChannelState::Single);
+        assert_eq!(SlotTruth::new(2, false).observed(), ChannelState::Collision);
+        assert_eq!(SlotTruth::new(100, false).observed(), ChannelState::Collision);
+        // Jamming always reads as Collision, regardless of transmitters.
+        assert_eq!(SlotTruth::new(0, true).observed(), ChannelState::Collision);
+        assert_eq!(SlotTruth::new(1, true).observed(), ChannelState::Collision);
+        assert_eq!(SlotTruth::new(7, true).observed(), ChannelState::Collision);
+    }
+
+    #[test]
+    fn jamming_destroys_single() {
+        let s = SlotTruth::new(1, true);
+        assert!(!s.is_clean_single());
+        assert_eq!(s.observed(), ChannelState::Collision);
+    }
+
+    #[test]
+    fn clean_single_detection() {
+        assert!(SlotTruth::new(1, false).is_clean_single());
+        assert!(!SlotTruth::new(0, false).is_clean_single());
+        assert!(!SlotTruth::new(2, false).is_clean_single());
+        assert!(!SlotTruth::new(1, true).is_clean_single());
+    }
+
+    #[test]
+    fn no_cd_projection() {
+        assert_eq!(NoCdState::from(ChannelState::Null), NoCdState::NoSingle);
+        assert_eq!(NoCdState::from(ChannelState::Single), NoCdState::Single);
+        assert_eq!(NoCdState::from(ChannelState::Collision), NoCdState::NoSingle);
+    }
+
+    #[test]
+    fn state_codes_roundtrip() {
+        for s in [ChannelState::Null, ChannelState::Single, ChannelState::Collision] {
+            assert_eq!(ChannelState::from_code(s.code()), s);
+        }
+    }
+
+    #[test]
+    fn idle_constant() {
+        assert_eq!(SlotTruth::IDLE.observed(), ChannelState::Null);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The observation function is total and consistent: jam forces
+        /// Collision, Single requires exactly one transmitter unjammed.
+        #[test]
+        fn observed_is_consistent(k in 0u64..1_000_000, jam: bool) {
+            let t = SlotTruth::new(k, jam);
+            let s = t.observed();
+            if jam {
+                prop_assert_eq!(s, ChannelState::Collision);
+            } else {
+                match k {
+                    0 => prop_assert_eq!(s, ChannelState::Null),
+                    1 => prop_assert_eq!(s, ChannelState::Single),
+                    _ => prop_assert_eq!(s, ChannelState::Collision),
+                }
+            }
+            prop_assert_eq!(t.is_clean_single(), s == ChannelState::Single);
+            // NoCd projection agrees.
+            prop_assert_eq!(
+                NoCdState::from(s) == NoCdState::Single,
+                t.is_clean_single()
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: elect a leader among 1000 stations while a jammer owns
+//! half of every 32-slot window.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jamming_leader_election::prelude::*;
+
+fn main() {
+    let n = 1000;
+    let eps = 0.5; // the adversary must leave an eps fraction of slots usable
+    let t_window = 32;
+
+    // The adversary: requests a jam every slot; the (T, 1-eps) budget
+    // clamp turns that into the maximally aggressive admissible jammer.
+    let adversary =
+        AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating);
+
+    // LESK (Algorithm 1 of the paper): stations share an estimate u of
+    // log2(n), transmit with probability 2^-u, and nudge u down on silence
+    // (-1) and up on collision (+eps/8).
+    let config = SimConfig::new(n, CdModel::Strong).with_seed(2024).with_max_slots(1_000_000);
+    let report = run_cohort(&config, &adversary, || LeskProtocol::new(eps));
+
+    assert!(report.leader_elected());
+    println!("network size      : {n} stations (unknown to the protocol)");
+    println!("adversary         : {}", adversary.label());
+    println!("slots to election : {}", report.slots);
+    println!("slots jammed      : {} ({:.0}%)", report.counts.jammed, report.jam_fraction() * 100.0);
+    println!("channel stats     : {} null / {} single / {} collision",
+        report.counts.nulls, report.counts.singles, report.counts.collisions);
+    println!("leader            : station #{}", report.winner.unwrap());
+    println!(
+        "theory envelope   : O(log n / (eps^3 log(1/eps))) = O({:.0}) slots",
+        jamming_leader_election::protocols::math::lesk_runtime_shape(n, eps, t_window)
+    );
+}

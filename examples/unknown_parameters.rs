@@ -1,0 +1,53 @@
+//! LESU: electing with *zero* global knowledge.
+//!
+//! The stations know none of `n`, `ε`, `T`. LESU first calibrates a time
+//! unit with `Estimation(2)` (Lemma 2.8), then sweeps time-boxed LESK
+//! runs over candidate ε values `2^{-j/3}` on a doubling schedule
+//! (Algorithm 2). This example surfaces the internals: the estimation
+//! round, the derived `t₀`, and the `(i, j)` sweep position at election.
+//!
+//! ```text
+//! cargo run --release --example unknown_parameters
+//! ```
+
+use jamming_leader_election::prelude::*;
+
+fn main() {
+    println!("LESU under a hidden (T=24, 1-eps=0.7)-bounded adversary\n");
+    let hidden_eps = 0.3;
+    let hidden_t = 24;
+    let adversary =
+        AdversarySpec::new(Rate::from_f64(hidden_eps), hidden_t, JamStrategyKind::Saturating);
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>14}",
+        "n", "slots", "t0", "sweep(i,j)", "eps_j vs eps"
+    );
+    for k in [7u32, 9, 11, 13] {
+        let n = 1u64 << k;
+        let config = SimConfig::new(n, CdModel::Strong).with_seed(99).with_max_slots(100_000_000);
+        let (report, proto) = run_cohort_with(&config, &adversary, LesuProtocol::new);
+        assert!(report.leader_elected());
+        match proto.current_run() {
+            Some((i, j, eps_j)) => println!(
+                "{:>8} {:>10} {:>12.0} {:>10} {:>7.3} vs {:.1}",
+                n,
+                report.slots,
+                proto.t0().unwrap(),
+                format!("({i},{j})"),
+                eps_j,
+                hidden_eps,
+            ),
+            // Lemma 2.8: Estimation itself may luck into a Single — the
+            // leader is then elected before any LESK run starts.
+            None => println!(
+                "{:>8} {:>10} {:>12} {:>10} {:>14}",
+                n, report.slots, "-", "(est.)", "single during Estimation"
+            ),
+        }
+    }
+    println!(
+        "\nThe sweep stops once a run uses eps_j <= true eps with a long enough time box — \
+         no station ever learned n, eps or T."
+    );
+}

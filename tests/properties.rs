@@ -1,0 +1,88 @@
+//! Property-based end-to-end tests: safety and liveness hold across
+//! randomly drawn configurations, not just hand-picked ones.
+
+use jamming_leader_election::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_adversary(eps: f64, t: u64, n: u64) -> impl Strategy<Value = AdversarySpec> {
+    let r = Rate::from_f64(eps);
+    prop_oneof![
+        Just(AdversarySpec::passive()),
+        Just(AdversarySpec::new(r, t, JamStrategyKind::Saturating)),
+        Just(AdversarySpec::new(r, t, JamStrategyKind::PeriodicFront)),
+        Just(AdversarySpec::new(r, t, JamStrategyKind::ReactiveNull)),
+        (0.1f64..0.9).prop_map(move |p| AdversarySpec::new(
+            r,
+            t,
+            JamStrategyKind::Random { prob: p }
+        )),
+        Just(AdversarySpec::new(
+            r,
+            t,
+            JamStrategyKind::AdaptiveEstimator { n, protocol_eps: eps, band: 3.0, initial_u: 0.0 }
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LESK elects exactly one leader for any drawn configuration.
+    #[test]
+    fn lesk_always_elects(
+        n in 1u64..600,
+        seed in any::<u64>(),
+        eps_pct in 15u32..90,
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let adv = AdversarySpec::new(
+            Rate::from_f64(eps), 16, JamStrategyKind::Saturating);
+        let config = SimConfig::new(n, CdModel::Strong)
+            .with_seed(seed)
+            .with_max_slots(20_000_000);
+        let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
+        prop_assert!(r.leader_elected(), "n={n} eps={eps} seed={seed}");
+        prop_assert_eq!(r.leaders.len(), 1);
+        prop_assert!(r.resolved_at.is_some());
+        prop_assert!(r.winner.unwrap() < n);
+    }
+
+    /// LEWK terminates with exactly one leader for any drawn adversary
+    /// (weak-CD full election; Lemma 3.1 needs n >= 3).
+    #[test]
+    fn lewk_safety_and_liveness(
+        n in 3u64..24,
+        seed in any::<u64>(),
+        adv in arbitrary_adversary(0.5, 8, 16),
+    ) {
+        let config = SimConfig::new(n, CdModel::Weak)
+            .with_seed(seed)
+            .with_max_slots(20_000_000)
+            .with_stop(StopRule::AllTerminated);
+        let r = run_exact(&config, &adv, |_| Box::new(lewk(0.5)));
+        prop_assert!(r.all_terminated, "n={n} adv={} seed={seed}", adv.label());
+        prop_assert_eq!(r.leaders.len(), 1);
+        // The leader is the station that transmitted the first clean
+        // Single (which is in C1).
+        prop_assert_eq!(r.leaders[0], r.winner.unwrap());
+    }
+
+    /// The first clean Single's slot is consistent between the report and
+    /// the trace, and no clean Single precedes it.
+    #[test]
+    fn resolution_slot_is_the_first_clean_single(
+        n in 2u64..256,
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig::new(n, CdModel::Strong)
+            .with_seed(seed)
+            .with_max_slots(5_000_000)
+            .with_trace(true);
+        let adv = AdversarySpec::new(
+            Rate::from_f64(0.4), 8, JamStrategyKind::Saturating);
+        let r = run_cohort(&config, &adv, || LeskProtocol::new(0.4));
+        prop_assert!(r.leader_elected());
+        let trace = r.trace.as_ref().unwrap();
+        prop_assert_eq!(trace.first_clean_single(), r.resolved_at.map(|s| s as usize));
+    }
+}

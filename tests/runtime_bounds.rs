@@ -1,0 +1,103 @@
+//! Smoke checks of the headline runtime claims (the full sweeps live in
+//! the E1–E9 experiments; these are fast invariant guards for CI).
+
+use jamming_leader_election::prelude::*;
+use jamming_leader_election::protocols::math;
+
+#[test]
+fn lesk_scales_logarithmically_not_linearly() {
+    // Quadrupling n by 256x must grow the election time by far less than
+    // 256x (log growth ⇒ roughly +8/(eps/8) slots per 256x).
+    let eps = 0.5;
+    let adv = AdversarySpec::new(Rate::from_f64(eps), 32, JamStrategyKind::Saturating);
+    let mc = MonteCarlo::new(30, 77);
+    let med = |n: u64| {
+        let xs = mc.collect_f64(|seed| {
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+            run_cohort(&config, &adv, || LeskProtocol::new(eps)).slots as f64
+        });
+        jamming_leader_election::analysis::percentile(&xs, 0.5)
+    };
+    let small = med(1 << 6);
+    let large = med(1 << 14);
+    assert!(large > small, "more stations must take longer");
+    assert!(
+        large < small * 6.0,
+        "256x stations may only cost a small factor (got {small} -> {large})"
+    );
+}
+
+#[test]
+fn lesk_beats_the_theorem_envelope() {
+    // Median election time must sit below a generous constant times the
+    // Theorem 2.6 shape across a parameter grid.
+    let mc = MonteCarlo::new(20, 3);
+    for &(n, eps, t) in &[(256u64, 0.5f64, 16u64), (1024, 0.3, 64), (4096, 0.7, 16)] {
+        let adv = AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::Saturating);
+        let xs = mc.collect_f64(|seed| {
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(50_000_000);
+            run_cohort(&config, &adv, || LeskProtocol::new(eps)).slots as f64
+        });
+        let med = jamming_leader_election::analysis::percentile(&xs, 0.5);
+        let envelope = 100.0 * math::lesk_runtime_shape(n, eps, t);
+        assert!(
+            med <= envelope,
+            "n={n} eps={eps} T={t}: median {med} above envelope {envelope}"
+        );
+    }
+}
+
+#[test]
+fn lower_bound_adversary_forces_at_least_t_ish_time() {
+    // With T = 5000 and eps = 1/2, the periodic-front jammer blacks out
+    // the first half of each block; electing faster than ~T/2 slots would
+    // require the impossible.
+    let t = 5_000u64;
+    let n = 64u64;
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), t, JamStrategyKind::PeriodicFront);
+    let mc = MonteCarlo::new(10, 44);
+    let xs = mc.collect_f64(|seed| {
+        let config =
+            SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(50_000_000);
+        let r = run_cohort(&config, &adv, || LeskProtocol::new(0.5));
+        assert!(r.leader_elected());
+        r.slots as f64
+    });
+    // LESK needs ~log2(n)/(eps/8) = 96 useful slots to climb; the first
+    // 2500 slots are fully jammed, so no election can beat slot 2500...
+    // unless the climb finishes inside the jammed prefix — it cannot,
+    // because jammed slots are collisions that *raise* u past log n.
+    // What the lower bound really forbids: electing with fewer than
+    // Omega(log n) *unjammed* slots. Check the weaker, airtight form.
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        min >= 96.0,
+        "election in {min} slots would beat the information-theoretic minimum"
+    );
+    // And the median must exceed the jammed prefix length.
+    let med = jamming_leader_election::analysis::percentile(&xs, 0.5);
+    assert!(med >= 2_500.0, "median {med} inside the fully-jammed prefix");
+}
+
+#[test]
+fn estimation_is_logarithmic_in_n() {
+    // Estimation(2) finishes in O(max{log n, T}) slots (Lemma 2.8).
+    let mc = MonteCarlo::new(20, 19);
+    for k in [8u32, 16] {
+        let n = 1u64 << k;
+        let xs = mc.collect_f64(|seed| {
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(1_000_000);
+            run_cohort(&config, &AdversarySpec::passive(), EstimationProtocol::paper).slots
+                as f64
+        });
+        let p90 = jamming_leader_election::analysis::percentile(&xs, 0.9);
+        assert!(
+            p90 <= 64.0 * k as f64,
+            "Estimation at n=2^{k} took {p90} slots (cap {})",
+            64 * k
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Section 3's simulation claim, verified: "Using such a modified
+//! Broadcast function we can deploy our algorithms for strong-CD … in
+//! weak-CD and they will give the same result until the first Single."
+
+use jamming_leader_election::prelude::*;
+
+fn spec() -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(0.4), 16, JamStrategyKind::Saturating)
+}
+
+#[test]
+fn lesk_runs_identically_under_weak_and_strong_cd_until_first_single() {
+    for seed in [1u64, 7, 42, 1234] {
+        let mk = |cd| {
+            SimConfig::new(300, cd)
+                .with_seed(seed)
+                .with_max_slots(5_000_000)
+                .with_trace(true)
+        };
+        let strong = run_cohort(&mk(CdModel::Strong), &spec(), || LeskProtocol::new(0.4));
+        let weak = run_cohort(&mk(CdModel::Weak), &spec(), || LeskProtocol::new(0.4));
+        assert_eq!(strong.slots, weak.slots, "seed {seed}");
+        assert_eq!(strong.resolved_at, weak.resolved_at);
+        assert_eq!(strong.counts, weak.counts);
+        let (ts, tw) = (strong.trace.unwrap(), weak.trace.unwrap());
+        assert_eq!(ts.estimates, tw.estimates, "u trajectories must match exactly");
+        assert!(ts.iter().zip(tw.iter()).all(|(a, b)| a == b));
+    }
+}
+
+#[test]
+fn lesu_runs_identically_under_weak_and_strong_cd() {
+    for seed in [3u64, 99] {
+        let mk = |cd| SimConfig::new(150, cd).with_seed(seed).with_max_slots(50_000_000);
+        let strong = run_cohort(&mk(CdModel::Strong), &spec(), LesuProtocol::new);
+        let weak = run_cohort(&mk(CdModel::Weak), &spec(), LesuProtocol::new);
+        assert_eq!(strong.slots, weak.slots, "seed {seed}");
+        assert_eq!(strong.resolved_at, weak.resolved_at);
+    }
+}
+
+#[test]
+fn only_leader_knowledge_differs() {
+    // The *difference* between the models is exactly who ends up knowing:
+    // strong-CD yields a leader immediately, weak-CD needs Notification.
+    let mk = |cd| SimConfig::new(64, cd).with_seed(5).with_max_slots(5_000_000);
+    let strong = run_cohort(&mk(CdModel::Strong), &spec(), || LeskProtocol::new(0.4));
+    let weak = run_cohort(&mk(CdModel::Weak), &spec(), || LeskProtocol::new(0.4));
+    assert_eq!(strong.leaders.len(), 1, "strong-CD winner sees its own Single");
+    assert!(weak.leaders.is_empty(), "weak-CD winner does not know it won");
+    assert_eq!(strong.resolved_at, weak.resolved_at);
+}
