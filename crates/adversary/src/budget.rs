@@ -206,9 +206,10 @@ impl JamBudget {
         // Maintain the trailing window of T−1 jam bits.
         self.recent.push_back(jam);
         if self.recent.len() as u64 > self.t_window.saturating_sub(1)
-            && self.recent.pop_front() == Some(true) {
-                self.recent_jams -= 1;
-            }
+            && self.recent.pop_front() == Some(true)
+        {
+            self.recent_jams -= 1;
+        }
     }
 
     /// Convenience: jam if permitted, then advance. Returns whether the

@@ -29,12 +29,7 @@ impl JamStrategy for BurstJammer {
         "burst"
     }
 
-    fn decide(
-        &mut self,
-        history: &dyn HistoryView,
-        _: &JamBudget,
-        _: &mut dyn RngCore,
-    ) -> bool {
+    fn decide(&mut self, history: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
         history.now() % (self.on + self.off) < self.on
     }
 }
@@ -57,10 +52,7 @@ mod tests {
             pat.push(s.decide(&h, &b, &mut rng));
             h.push(&SlotTruth::IDLE);
         }
-        assert_eq!(
-            pat,
-            vec![true, true, true, false, false, true, true, true, false, false]
-        );
+        assert_eq!(pat, vec![true, true, true, false, false, true, true, true, false, false]);
     }
 
     #[test]

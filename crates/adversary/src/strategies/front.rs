@@ -25,12 +25,7 @@ impl JamStrategy for FrontLoadedJammer {
         "front-loaded"
     }
 
-    fn decide(
-        &mut self,
-        history: &dyn HistoryView,
-        _: &JamBudget,
-        _: &mut dyn RngCore,
-    ) -> bool {
+    fn decide(&mut self, history: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
         history.now() < self.horizon
     }
 }

@@ -34,11 +34,7 @@ impl JamStrategy for PhasedJammer {
         rng: &mut dyn RngCore,
     ) -> bool {
         let now = history.now();
-        let active = self
-            .phases
-            .iter_mut()
-            .rev()
-            .find(|(from, _)| *from <= now);
+        let active = self.phases.iter_mut().rev().find(|(from, _)| *from <= now);
         match active {
             Some((_, strategy)) => strategy.decide(history, budget, rng),
             None => false,

@@ -20,12 +20,7 @@ impl JamStrategy for ReactiveNullJammer {
         "reactive-null"
     }
 
-    fn decide(
-        &mut self,
-        history: &dyn HistoryView,
-        _: &JamBudget,
-        _: &mut dyn RngCore,
-    ) -> bool {
+    fn decide(&mut self, history: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
         history.last().is_some_and(|p| p.state() == ChannelState::Null)
     }
 }

@@ -25,12 +25,7 @@ impl JamStrategy for ScriptedJammer {
         "scripted"
     }
 
-    fn decide(
-        &mut self,
-        history: &dyn HistoryView,
-        _: &JamBudget,
-        _: &mut dyn RngCore,
-    ) -> bool {
+    fn decide(&mut self, history: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
         if self.pattern.is_empty() {
             return false;
         }

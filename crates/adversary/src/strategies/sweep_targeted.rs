@@ -47,12 +47,7 @@ impl JamStrategy for SweepTargetedJammer {
         "sweep-targeted"
     }
 
-    fn decide(
-        &mut self,
-        history: &dyn HistoryView,
-        _: &JamBudget,
-        _: &mut dyn RngCore,
-    ) -> bool {
+    fn decide(&mut self, history: &dyn HistoryView, _: &JamBudget, _: &mut dyn RngCore) -> bool {
         let r = Self::exponent_at(history.now()) as f64;
         (r - self.log2_n).abs() <= self.band
     }
@@ -67,11 +62,7 @@ mod tests {
         // Backoff positions: [1], [1,2], [1,2,3], [1,2,3,4] …
         let expect = [1u32, 1, 2, 1, 2, 3, 1, 2, 3, 4, 1, 2, 3, 4, 5];
         for (slot, &want) in expect.iter().enumerate() {
-            assert_eq!(
-                SweepTargetedJammer::exponent_at(slot as u64),
-                want,
-                "slot {slot}"
-            );
+            assert_eq!(SweepTargetedJammer::exponent_at(slot as u64), want, "slot {slot}");
         }
     }
 

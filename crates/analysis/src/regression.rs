@@ -35,21 +35,15 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (intercept + slope * p.0)).powi(2)).sum();
     let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     Some(LinearFit { intercept, slope, r_squared })
 }
 
 /// Fit `y ≈ a + b·log₂(x)` — the scaling check for `O(log n)` claims.
 pub fn log2_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
-    let transformed: Vec<(f64, f64)> = points
-        .iter()
-        .filter(|p| p.0 > 0.0)
-        .map(|p| (p.0.log2(), p.1))
-        .collect();
+    let transformed: Vec<(f64, f64)> =
+        points.iter().filter(|p| p.0 > 0.0).map(|p| (p.0.log2(), p.1)).collect();
     linear_fit(&transformed)
 }
 

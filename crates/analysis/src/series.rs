@@ -39,11 +39,7 @@ impl Series {
 
     /// Maximum y value (NaNs ignored).
     pub fn max_y(&self) -> Option<f64> {
-        self.points
-            .iter()
-            .map(|p| p.1)
-            .filter(|y| !y.is_nan())
-            .max_by(f64::total_cmp)
+        self.points.iter().map(|p| p.1).filter(|y| !y.is_nan()).max_by(f64::total_cmp)
     }
 
     /// Whether y is non-decreasing along the series (tolerance `tol`).

@@ -76,8 +76,7 @@ const MARGIN_L: f64 = 70.0;
 const MARGIN_R: f64 = 170.0;
 const MARGIN_T: f64 = 45.0;
 const MARGIN_B: f64 = 55.0;
-const PALETTE: [&str; 6] =
-    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
 
 impl Figure {
     /// New empty figure with linear axes.
@@ -123,8 +122,7 @@ impl Figure {
             .map(|&(x, y)| (self.x_scale.transform(x), self.y_scale.transform(y)))
             .peekable();
         pts.peek()?;
-        let (mut x0, mut x1, mut y0, mut y1) =
-            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
         for (x, y) in pts {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -151,9 +149,7 @@ impl Figure {
         let plot_w = WIDTH - MARGIN_L - MARGIN_R;
         let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
         let sx = |x: f64| MARGIN_L + (self.x_scale.transform(x) - x0) / (x1 - x0) * plot_w;
-        let sy = |y: f64| {
-            MARGIN_T + plot_h - (self.y_scale.transform(y) - y0) / (y1 - y0) * plot_h
-        };
+        let sy = |y: f64| MARGIN_T + plot_h - (self.y_scale.transform(y) - y0) / (y1 - y0) * plot_h;
 
         let mut svg = String::new();
         let _ = write!(
@@ -229,7 +225,8 @@ impl Figure {
             for (pi, &(x, y)) in
                 s.points.iter().filter(|p| !p.0.is_nan() && !p.1.is_nan()).enumerate()
             {
-                let _ = write!(path, "{}{:.1},{:.1} ", if pi == 0 { "M" } else { "L" }, sx(x), sy(y));
+                let _ =
+                    write!(path, "{}{:.1},{:.1} ", if pi == 0 { "M" } else { "L" }, sx(x), sy(y));
             }
             if !path.is_empty() {
                 let _ = write!(

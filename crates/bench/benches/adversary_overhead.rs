@@ -36,7 +36,12 @@ fn bench_strategies(c: &mut Criterion) {
         ("reactive", JamStrategyKind::ReactiveNull),
         (
             "adaptive",
-            JamStrategyKind::AdaptiveEstimator { n: 1 << 16, protocol_eps: 0.3, band: 3.0, initial_u: 0.0 },
+            JamStrategyKind::AdaptiveEstimator {
+                n: 1 << 16,
+                protocol_eps: 0.3,
+                band: 3.0,
+                initial_u: 0.0,
+            },
         ),
     ];
     for (name, kind) in kinds {

@@ -22,9 +22,7 @@ fn bench_lesk_by_n(c: &mut Criterion) {
                 seed += 1;
                 let config =
                     SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
-                black_box(run_cohort(&config, &AdversarySpec::passive(), || {
-                    LeskProtocol::new(0.5)
-                }))
+                black_box(run_cohort(&config, &AdversarySpec::passive(), || LeskProtocol::new(0.5)))
             })
         });
         group.bench_with_input(BenchmarkId::new("saturating", n), &n, |b, &n| {

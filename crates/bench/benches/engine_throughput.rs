@@ -30,8 +30,7 @@ fn bench_cohort(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let adv = sat();
             b.iter(|| {
-                let config =
-                    SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
                 black_box(run_cohort(&config, &adv, || AlwaysCollide))
             })
         });
@@ -48,8 +47,7 @@ fn bench_exact(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let adv = sat();
             b.iter(|| {
-                let config =
-                    SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
                 black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))))
             })
         });

@@ -36,9 +36,8 @@ fn bench_lesu(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let config = SimConfig::new(n, CdModel::Strong)
-                    .with_seed(seed)
-                    .with_max_slots(100_000_000);
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(100_000_000);
                 black_box(run_cohort(&config, &adv, LesuProtocol::new))
             })
         });

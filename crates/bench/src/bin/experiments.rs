@@ -37,11 +37,7 @@ fn write_results(result: &ExperimentResult, dir: &Path) -> std::io::Result<()> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .cloned()
-        .collect();
+    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with('-')).cloned().collect();
 
     if ids.is_empty() || ids[0] == "list" {
         eprintln!("usage: experiments [--quick] <id>... | all | list\n");
@@ -71,6 +67,7 @@ fn main() {
                 "e21" => "the no-CD open problem, quantified (paper §4)",
                 "e22" => "jamming + environmental noise (beyond the model)",
                 "e23" => "duty-cycled LESK: energy vs latency (extension, ref [13])",
+                "e24" => "fault injection + restart supervision (beyond the model)",
                 _ => "",
             };
             eprintln!("  {id:<4} {title}");

@@ -11,7 +11,9 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{run_cohort, run_exact, MonteCarlo, RunReport, SimConfig, StopRule};
-use jle_protocols::{lewk, lewu, ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol};
+use jle_protocols::{
+    lewk, lewu, ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol,
+};
 use jle_radio::CdModel;
 use serde_json::json;
 
@@ -113,16 +115,10 @@ fn run_one(args: &Args, adv: &AdversarySpec, seed: u64) -> Result<RunReport, Str
         "arss" => run_cohort(&config, adv, || {
             ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, adv.t_window))
         }),
-        "lewk" => run_exact(
-            &config.with_stop(StopRule::AllTerminated),
-            adv,
-            |_| Box::new(lewk(eps)),
-        ),
-        "lewu" => run_exact(
-            &config.with_stop(StopRule::AllTerminated),
-            adv,
-            |_| Box::new(lewu()),
-        ),
+        "lewk" => {
+            run_exact(&config.with_stop(StopRule::AllTerminated), adv, |_| Box::new(lewk(eps)))
+        }
+        "lewu" => run_exact(&config.with_stop(StopRule::AllTerminated), adv, |_| Box::new(lewu())),
         other => return Err(format!("unknown protocol: {other}")),
     })
 }
@@ -188,8 +184,7 @@ fn main() {
     }
 
     let mc = MonteCarlo::new(args.trials, args.seed);
-    let reports: Vec<Result<RunReport, String>> =
-        mc.run(|seed| run_one(&args, &adv, seed));
+    let reports: Vec<Result<RunReport, String>> = mc.run(|seed| run_one(&args, &adv, seed));
     let mut slots = Vec::new();
     let mut successes = 0u64;
     for r in &reports {

@@ -108,11 +108,7 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Render a [`Summary`] into `(median, mean, p90)` strings for tables.
 pub fn summary_cells(s: &Summary) -> (String, String, String) {
-    (
-        jle_analysis::fmt(s.median),
-        jle_analysis::fmt(s.mean),
-        jle_analysis::fmt(s.p90),
-    )
+    (jle_analysis::fmt(s.median), jle_analysis::fmt(s.mean), jle_analysis::fmt(s.p90))
 }
 
 #[cfg(test)]
@@ -135,15 +131,10 @@ mod tests {
 
     #[test]
     fn election_slots_smoke() {
-        let (slots, timeouts) = election_slots(
-            64,
-            CdModel::Strong,
-            &AdversarySpec::passive(),
-            10,
-            1,
-            100_000,
-            || LeskProtocol::new(0.5),
-        );
+        let (slots, timeouts) =
+            election_slots(64, CdModel::Strong, &AdversarySpec::passive(), 10, 1, 100_000, || {
+                LeskProtocol::new(0.5)
+            });
         assert_eq!(slots.len(), 10);
         assert_eq!(timeouts, 0);
         assert!(median(&slots) > 0.0);

@@ -39,11 +39,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     let mut s_burst = Series::new("burst jammer");
     let mut s_shape = Series::new("theory shape max{T, log-term}");
     for (idx, &t) in t_grid.iter().enumerate() {
-        let burst = AdversarySpec::new(
-            Rate::from_f64(eps),
-            t,
-            JamStrategyKind::Burst { on: t, off: t },
-        );
+        let burst =
+            AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::Burst { on: t, off: t });
         let periodic = AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::PeriodicFront);
         let (bs, b_to) = election_slots(
             n,
@@ -71,13 +68,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         if t >= 1 << 12 {
             big_t_pts.push((t as f64, bmed));
         }
-        table.push_row([
-            t.to_string(),
-            fmt(bmed),
-            fmt(median(&ps)),
-            fmt(shape),
-            fmt(bmed / shape),
-        ]);
+        table.push_row([t.to_string(), fmt(bmed), fmt(median(&ps)), fmt(shape), fmt(bmed / shape)]);
     }
     result.add_table("runtime vs T", table);
     result.add_figure(

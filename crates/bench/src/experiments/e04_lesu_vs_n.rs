@@ -31,8 +31,7 @@ struct LesuStats {
 fn lesu_runs(n: u64, adv: &AdversarySpec, trials: u64, base_seed: u64, c: f64) -> LesuStats {
     let mc = MonteCarlo::new(trials, base_seed);
     let rows: Vec<(f64, bool)> = mc.run(|seed| {
-        let config =
-            SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(500_000_000);
+        let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(500_000_000);
         let (report, proto) = run_cohort_with(&config, adv, move || LesuProtocol::with_constant(c));
         assert!(report.leader_elected(), "LESU timeout at n={n}");
         (report.slots as f64, proto.current_run().is_none())
@@ -100,16 +99,10 @@ pub fn run(quick: bool) -> ExperimentResult {
     // Schedule-constant ablation at n = 1024, hidden eps = 1/8 (heavy
     // jamming suppresses most estimation exits, so the sweep — where c
     // matters — is actually exercised).
-    let mut ablation = Table::new([
-        "c",
-        "median slots",
-        "p90 slots",
-        "estimation-exit fraction",
-    ]);
+    let mut ablation = Table::new(["c", "median slots", "p90 slots", "estimation-exit fraction"]);
     let cs: Vec<f64> = if quick { vec![4.0] } else { vec![1.0, 2.0, 4.0, 8.0, 16.0] };
     for (i, &c) in cs.iter().enumerate() {
-        let stats =
-            lesu_runs(1024, &saturating(0.125, t_window), trials, 42_000 + i as u64, c);
+        let stats = lesu_runs(1024, &saturating(0.125, t_window), trials, 42_000 + i as u64, c);
         let s = jle_analysis::Summary::of(&stats.slots).unwrap();
         ablation.push_row([
             c.to_string(),

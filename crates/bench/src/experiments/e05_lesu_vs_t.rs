@@ -28,14 +28,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     };
     let trials = if quick { 8 } else { 25 };
 
-    let mut table = Table::new([
-        "T",
-        "median slots",
-        "slots/T",
-        "loglog T",
-        "log T",
-        "(slots/T)/loglog T",
-    ]);
+    let mut table =
+        Table::new(["T", "median slots", "slots/T", "loglog T", "log T", "(slots/T)/loglog T"]);
     let mut normalized = Vec::new();
     for (i, &t) in t_grid.iter().enumerate() {
         let adv =

@@ -52,8 +52,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let trials = if quick { 10 } else { 50 };
 
     for (jam, advname) in [(false, "no jam"), (true, "saturating")] {
-        let adv =
-            if jam { saturating(eps, t_window) } else { AdversarySpec::passive() };
+        let adv = if jam { saturating(eps, t_window) } else { AdversarySpec::passive() };
         let mut table = Table::new([
             "n",
             "LEWK median (weak, full election)",
@@ -76,13 +75,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             assert_eq!(timeouts + st, 0, "no timeouts expected in E6 (n={n})");
             assert_eq!(bad, 0, "leader-count violation in E6 (n={n})");
             let (mw, ms) = (median(&weak), median(&strong));
-            table.push_row([
-                n.to_string(),
-                fmt(mw),
-                fmt(ms),
-                fmt(mw / ms),
-                "100%".to_string(),
-            ]);
+            table.push_row([n.to_string(), fmt(mw), fmt(ms), fmt(mw / ms), "100%".to_string()]);
         }
         result.add_table(&format!("LEWK vs LESK ({advname})"), table);
     }

@@ -17,16 +17,10 @@ use jle_radio::CdModel;
 
 const MAX_SLOTS: u64 = 3_000_000;
 
-fn row_for(
-    n: u64,
-    adv: &AdversarySpec,
-    trials: u64,
-    seed: u64,
-) -> Vec<String> {
+fn row_for(n: u64, adv: &AdversarySpec, trials: u64, seed: u64) -> Vec<String> {
     let t_window = adv.t_window;
-    let lesk = election_slots(n, CdModel::Strong, adv, trials, seed, MAX_SLOTS, || {
-        LeskProtocol::new(0.3)
-    });
+    let lesk =
+        election_slots(n, CdModel::Strong, adv, trials, seed, MAX_SLOTS, || LeskProtocol::new(0.3));
     let arss = election_slots(n, CdModel::Strong, adv, trials, seed + 1, MAX_SLOTS, || {
         ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, t_window))
     });
@@ -56,10 +50,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     let ns: Vec<u64> = if quick { vec![64, 1024] } else { vec![64, 256, 1024, 4096, 16_384] };
     let trials = if quick { 10 } else { 50 };
 
-    let adversaries: Vec<(&str, AdversarySpec)> = vec![
-        ("none", AdversarySpec::passive()),
-        ("saturating", saturating(eps, t_window)),
-    ];
+    let adversaries: Vec<(&str, AdversarySpec)> =
+        vec![("none", AdversarySpec::passive()), ("saturating", saturating(eps, t_window))];
     for (ai, (name, adv)) in adversaries.iter().enumerate() {
         let mut table = Table::new(["n", "LESK", "ARSS-MAC", "backoff", "Willard"]);
         for (i, &n) in ns.iter().enumerate() {

@@ -25,7 +25,8 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     // Sweep n at fixed eps, T.
     let mut by_n = Table::new(["n", "median slots", "lower bound shape", "measured/LB"]);
-    let ns: Vec<u64> = if quick { vec![256, 4096] } else { vec![64, 256, 1024, 4096, 16_384, 65_536] };
+    let ns: Vec<u64> =
+        if quick { vec![256, 4096] } else { vec![64, 256, 1024, 4096, 16_384, 65_536] };
     let mut ratios_n = Vec::new();
     for (i, &n) in ns.iter().enumerate() {
         let eps = 0.5;
@@ -71,8 +72,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     }
     result.add_table("sweep eps (n=1024, T=64)", by_eps);
 
-    let spread =
-        ratios_n.iter().cloned().fold(f64::MIN, f64::max) / ratios_n.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = ratios_n.iter().cloned().fold(f64::MIN, f64::max)
+        / ratios_n.iter().cloned().fold(f64::MAX, f64::min);
     result.note(format!(
         "for constant eps the measured/lower-bound ratio varies only {spread:.2}x across a \
          1000x range of n — LESK is within a constant of optimal, matching \

@@ -48,9 +48,8 @@ pub fn run(quick: bool) -> ExperimentResult {
             let mc = MonteCarlo::new(trials, 90_000 + i as u64 * 17 + ki as u64 * 7919);
             let failures: u64 = mc
                 .run(|seed| {
-                    let config = SimConfig::new(n, CdModel::Strong)
-                        .with_seed(seed)
-                        .with_max_slots(budget);
+                    let config =
+                        SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(budget);
                     run_cohort(&config, &adv, || LeskProtocol::new(eps)).timed_out as u64
                 })
                 .into_iter()
@@ -66,12 +65,9 @@ pub fn run(quick: bool) -> ExperimentResult {
         &format!("failure rate within K·shape(n), {trials} trials/cell (saturating jammer)"),
         table,
     );
-    let mut fig = Figure::new(
-        "LESK failure rate vs n across time budgets",
-        "n (log2 axis)",
-        "failure rate",
-    )
-    .log_x();
+    let mut fig =
+        Figure::new("LESK failure rate vs n across time budgets", "n (log2 axis)", "failure rate")
+            .log_x();
     for (ki, &k) in BUDGET_KS.iter().enumerate() {
         let mut s = Series::new(format!("K = {k}"));
         for (&n, &rate) in ns.iter().zip(&failure_rates[ki]) {

@@ -41,17 +41,11 @@ pub fn run(quick: bool) -> ExperimentResult {
         "median u at election",
         "u0 = log2 n",
     ]);
-    let mut fig = Figure::new(
-        "LESK estimate trajectory u(t) (single runs)",
-        "slot",
-        "estimate u",
-    );
+    let mut fig = Figure::new("LESK estimate trajectory u(t) (single runs)", "slot", "estimate u");
     for &n in &ns {
         let (lo, hi) = regular_band(n, eps);
-        for (name, adv) in [
-            ("none", AdversarySpec::passive()),
-            ("saturating", saturating(eps, 32)),
-        ] {
+        for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 32))]
+        {
             let mc = MonteCarlo::new(trials, 100_000 + n);
             let rows: Vec<(f64, f64, f64)> = mc.run(|seed| {
                 let config = SimConfig::new(n, CdModel::Strong)

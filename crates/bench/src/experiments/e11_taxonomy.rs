@@ -27,13 +27,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     let trials = if quick { 10 } else { 40 };
 
     for &eps in &eps_grid {
-        let mut table = Table::new([
-            "counter",
-            "mean count",
-            "bound",
-            "mean/bound",
-            "violations (of trials)",
-        ]);
+        let mut table =
+            Table::new(["counter", "mean count", "bound", "mean/bound", "violations (of trials)"]);
         let adv = saturating(eps, 32);
         let mc = MonteCarlo::new(trials, 110_000 + (eps * 1000.0) as u64);
         let taxes: Vec<(SlotTaxonomy, u64)> = mc.run(|seed| {

@@ -21,23 +21,14 @@ pub fn run(quick: bool) -> ExperimentResult {
     let ts: Vec<u64> = if quick { vec![1, 64] } else { vec![1, 64, 4096] };
     let trials = if quick { 30 } else { 200 };
 
-    let mut table = Table::new([
-        "n",
-        "T",
-        "window [lo, hi]",
-        "in-window rate",
-        "single rate",
-        "median round",
-    ]);
+    let mut table =
+        Table::new(["n", "T", "window [lo, hi]", "in-window rate", "single rate", "median round"]);
     let mut all_ok = true;
     for &k in &exps {
         let n = 1u64 << k;
         for &t in &ts {
-            let adv = if t == 1 {
-                jle_adversary::AdversarySpec::passive()
-            } else {
-                saturating(0.5, t)
-            };
+            let adv =
+                if t == 1 { jle_adversary::AdversarySpec::passive() } else { saturating(0.5, t) };
             let loglog = (n as f64).log2().log2();
             let lo = loglog.floor() - 1.0;
             let hi = loglog.max((t as f64).log2()).ceil() + 1.0;
@@ -49,11 +40,7 @@ pub fn run(quick: bool) -> ExperimentResult {
                 (proto.result(), report.resolved_at.is_some())
             });
             let singles = outcomes.iter().filter(|o| o.1).count();
-            let rounds: Vec<f64> = outcomes
-                .iter()
-                .filter_map(|o| o.0)
-                .map(|r| r as f64)
-                .collect();
+            let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.0).map(|r| r as f64).collect();
             let in_window = outcomes
                 .iter()
                 .filter(|o| o.1 || o.0.is_some_and(|r| (r as f64) >= lo && (r as f64) <= hi))

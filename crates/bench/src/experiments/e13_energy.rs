@@ -9,7 +9,9 @@ use crate::common::{saturating, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
 use jle_engine::{run_cohort, MonteCarlo, SimConfig, UniformProtocol};
-use jle_protocols::{ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol};
+use jle_protocols::{
+    ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol,
+};
 use jle_radio::CdModel;
 
 fn energy_cells<U: UniformProtocol>(
@@ -56,9 +58,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             "LESK listens/station",
         ]);
         for (i, &n) in ns.iter().enumerate() {
-            let lesk = energy_cells(n, &adv, trials, 130_000 + i as u64, || {
-                LeskProtocol::new(0.5)
-            });
+            let lesk = energy_cells(n, &adv, trials, 130_000 + i as u64, || LeskProtocol::new(0.5));
             let lesu = energy_cells(n, &adv, trials, 131_000 + i as u64, LesuProtocol::new);
             let arss = energy_cells(n, &adv, trials, 132_000 + i as u64, || {
                 ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, 32))

@@ -96,11 +96,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         }
         result.add_table(&format!("LESK (n={n}, eps={eps}, T={t}) — {regime}"), table);
     }
-    let worst = warm_rows
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .cloned()
-        .unwrap_or_default();
+    let worst = warm_rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned().unwrap_or_default();
     result.note(
         "cold start: all slowdowns are ≤ ~1.1x — the as-written protocol spends its time \
          climbing u, and jamming only *accelerates* the climb (a jammed slot is a collision, \

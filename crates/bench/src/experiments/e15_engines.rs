@@ -25,26 +25,22 @@ pub fn run(quick: bool) -> ExperimentResult {
     let trials = if quick { 30 } else { 300 };
 
     // (a) Agreement.
-    let mut agree = Table::new([
-        "n",
-        "cohort median / mean",
-        "exact median / mean",
-        "mean ratio",
-    ]);
+    let mut agree = Table::new(["n", "cohort median / mean", "exact median / mean", "mean ratio"]);
     let ns: Vec<u64> = if quick { vec![16] } else { vec![4, 16, 64, 256] };
     for (i, &n) in ns.iter().enumerate() {
         let adv = saturating(eps, 16);
         let mc = MonteCarlo::new(trials, 150_000 + i as u64);
         let cohort: Vec<f64> = mc.run(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
             run_cohort(&config, &adv, || LeskProtocol::new(eps)).slots as f64
         });
         let exact: Vec<f64> = mc.run(|seed| {
             let config = SimConfig::new(n, CdModel::Strong)
                 .with_seed(seed ^ 0xABCD)
                 .with_max_slots(10_000_000);
-            run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(eps))))
-                .slots as f64
+            run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(eps)))).slots
+                as f64
         });
         let (sc, se) = (Summary::of(&cohort).unwrap(), Summary::of(&exact).unwrap());
         agree.push_row([

@@ -26,9 +26,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let ns: Vec<u64> = if quick { vec![1024] } else { vec![256, 1024, 16_384] };
     let ks: Vec<u64> = if quick { vec![8] } else { vec![4, 16, 64] };
 
-    for (name, adv) in
-        [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))]
-    {
+    for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))] {
         let mut table = Table::new([
             "n",
             "k",
@@ -44,8 +42,9 @@ pub fn run(quick: bool) -> ExperimentResult {
                 }
                 let mc = MonteCarlo::new(trials, 160_000 + n + k);
                 let rows: Vec<(f64, f64, f64, bool)> = mc.run(|seed| {
-                    let config =
-                        SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
+                    let config = SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(5_000_000);
                     let r = run_k_selection(&config, &adv, k, eps);
                     let gaps = r.gaps();
                     let first = gaps.first().copied().unwrap_or(0) as f64;

@@ -37,8 +37,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         let horizon = 400 + 40 * k as u64;
         let lo = n as f64 / (2.0 * a.ln());
         let hi = 2.0 * a.sqrt() * n as f64;
-        for (name, adv) in
-            [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))]
+        for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))]
         {
             let mc = MonteCarlo::new(trials, 170_000 + k as u64 * 37);
             let ests = mc.collect_f64(|seed| {

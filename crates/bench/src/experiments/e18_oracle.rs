@@ -50,9 +50,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             // Every jam of the oracle is a suppressed Single.
             (r.leader_elected(), r.counts.jammed as f64)
         });
-        let rate = |v: &[(bool, f64)]| {
-            v.iter().filter(|x| x.0).count() as f64 / v.len() as f64
-        };
+        let rate = |v: &[(bool, f64)]| v.iter().filter(|x| x.0).count() as f64 / v.len() as f64;
         let med = |v: &[(bool, f64)]| {
             let mut xs: Vec<f64> = v.iter().map(|x| x.1).collect();
             xs.sort_by(f64::total_cmp);

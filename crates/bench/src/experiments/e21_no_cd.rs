@@ -57,24 +57,14 @@ pub fn run(quick: bool) -> ExperimentResult {
         let (cold, _) = election_slots(n, cd, &saturating(eps, 8), trials, 211_000, cap, || {
             LeskProtocol::new(eps)
         });
-        let (rec_clean, rt0) = election_slots(
-            n,
-            cd,
-            &AdversarySpec::passive(),
-            trials,
-            212_000,
-            cap,
-            move || LeskProtocol::with_initial_estimate(eps, u_start),
-        );
-        let (rec_jam, rt1) = election_slots(
-            n,
-            cd,
-            &saturating(eps, 8),
-            trials,
-            212_500,
-            cap,
-            move || LeskProtocol::with_initial_estimate(eps, u_start),
-        );
+        let (rec_clean, rt0) =
+            election_slots(n, cd, &AdversarySpec::passive(), trials, 212_000, cap, move || {
+                LeskProtocol::with_initial_estimate(eps, u_start)
+            });
+        let (rec_jam, rt1) =
+            election_slots(n, cd, &saturating(eps, 8), trials, 212_500, cap, move || {
+                LeskProtocol::with_initial_estimate(eps, u_start)
+            });
         let cell = |xs: &Vec<f64>, to: u64| {
             if to * 2 >= trials {
                 format!("timeout ({to}/{trials})")
@@ -160,10 +150,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             fmt(median(&lesk)),
         ]);
     }
-    result.add_table(
-        "oblivious sweep vs schedule-targeted jamming (no-CD, eps=0.1)",
-        sweep_table,
-    );
+    result.add_table("oblivious sweep vs schedule-targeted jamming (no-CD, eps=0.1)", sweep_table);
     result.note(
         "collision detection is what the adversary cannot counterfeit: with it, LESK \
          self-corrects even from a 45-unit estimate overshoot (Nulls pull it back); without \

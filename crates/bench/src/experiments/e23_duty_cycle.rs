@@ -26,9 +26,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let trials = if quick { 8 } else { 40 };
     let periods: Vec<u64> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
 
-    for (name, adv) in
-        [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))]
-    {
+    for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))] {
         let mut table = Table::new([
             "period",
             "median slots",

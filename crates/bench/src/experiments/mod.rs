@@ -28,13 +28,14 @@ pub mod e20_increment;
 pub mod e21_no_cd;
 pub mod e22_noise;
 pub mod e23_duty_cycle;
+pub mod e24_faults;
 
 use crate::common::ExperimentResult;
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 23] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
+pub const ALL_IDS: [&str; 24] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -63,6 +64,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e21" => e21_no_cd::run(quick),
         "e22" => e22_noise::run(quick),
         "e23" => e23_duty_cycle::run(quick),
+        "e24" => e24_faults::run(quick),
         _ => return None,
     })
 }

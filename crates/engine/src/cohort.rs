@@ -28,8 +28,17 @@ const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Sample the number of transmitters among `n` stations each transmitting
 /// independently with probability `p`.
+///
+/// Out-of-range `p` is clamped to `[0, 1]` (protocols may feed `1 + δ`
+/// from float error), but NaN is rejected loudly: it survives `clamp`
+/// (which propagates NaN) and would otherwise surface as an opaque
+/// `Binomial` construction panic deep in a sweep.
+///
+/// # Panics
+/// Panics if `p` is NaN.
 #[inline]
 pub fn sample_transmitters(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
+    assert!(!p.is_nan(), "transmission probability must not be NaN");
     let p = p.clamp(0.0, 1.0);
     if p == 0.0 || n == 0 {
         return 0;
@@ -134,9 +143,9 @@ pub fn run_cohort_with<U: UniformProtocol>(
             report.all_terminated = true;
         }
     }
-    report.timed_out = report.resolved_at.is_none()
-        && !proto.finished()
-        && report.slots == config.max_slots;
+    report.timed_out =
+        report.resolved_at.is_none() && !proto.finished() && report.slots == config.max_slots;
+    report.cap_hit = report.timed_out;
     {
         use jle_radio::HistoryView;
         report.counts = history.counts();
@@ -210,6 +219,7 @@ pub fn run_cohort_against_oracle<U: UniformProtocol>(
     }
     report.timed_out =
         report.resolved_at.is_none() && !proto.finished() && report.slots == config.max_slots;
+    report.cap_hit = report.timed_out;
     report.counts = counts;
     report.energy = energy;
     report
@@ -271,6 +281,30 @@ mod tests {
         let total: u64 = (0..2000).map(|_| sample_transmitters(100, 0.3, &mut rng)).sum();
         let mean = total as f64 / 2000.0;
         assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sampler_clamps_out_of_range_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert_eq!(sample_transmitters(100, -0.5, &mut rng), 0, "negative p clamps to 0");
+        assert_eq!(sample_transmitters(100, 1.5, &mut rng), 100, "p > 1 clamps to 1");
+        assert_eq!(sample_transmitters(0, f64::INFINITY, &mut rng), 0, "n = 0 after clamp");
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission probability must not be NaN")]
+    fn sampler_rejects_nan_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = sample_transmitters(100, f64::NAN, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission probability must not be NaN")]
+    fn sampler_rejects_nan_even_for_zero_stations() {
+        // The NaN check runs before any n-based early-out: a poisoned
+        // probability is a bug wherever it appears.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let _ = sample_transmitters(0, f64::NAN, &mut rng);
     }
 
     #[test]
@@ -402,10 +436,8 @@ mod noise_tests {
 
     #[test]
     fn noise_corrupts_at_the_configured_rate() {
-        let config = SimConfig::new(4, CdModel::Strong)
-            .with_seed(5)
-            .with_max_slots(20_000)
-            .with_noise(0.25);
+        let config =
+            SimConfig::new(4, CdModel::Strong).with_seed(5).with_max_slots(20_000).with_noise(0.25);
         let r = run_cohort(&config, &AdversarySpec::passive(), || Silent);
         let frac = r.noise_slots as f64 / r.slots as f64;
         assert!((frac - 0.25).abs() < 0.02, "noise fraction {frac}");
@@ -420,9 +452,7 @@ mod noise_tests {
         // Adding the noise feature must not perturb noise-free runs.
         let base = SimConfig::new(16, CdModel::Strong).with_seed(9).with_max_slots(100_000);
         let a = run_cohort(&base, &AdversarySpec::passive(), || Fixed(0.1));
-        let b = run_cohort(&base.clone().with_noise(0.0), &AdversarySpec::passive(), || {
-            Fixed(0.1)
-        });
+        let b = run_cohort(&base.clone().with_noise(0.0), &AdversarySpec::passive(), || Fixed(0.1));
         assert_eq!(a.resolved_at, b.resolved_at);
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.noise_slots, 0);
@@ -432,10 +462,8 @@ mod noise_tests {
     fn noise_destroys_singles_like_jamming() {
         // A lone always-transmitter under heavy noise: only noise-free
         // slots can resolve.
-        let config = SimConfig::new(1, CdModel::Strong)
-            .with_seed(3)
-            .with_max_slots(1_000)
-            .with_noise(0.9);
+        let config =
+            SimConfig::new(1, CdModel::Strong).with_seed(3).with_max_slots(1_000).with_noise(0.9);
         let r = run_cohort(&config, &AdversarySpec::passive(), || Fixed(1.0));
         assert!(r.leader_elected());
         assert!(r.resolved_at.unwrap() > 0 || r.noise_slots == 0);

@@ -28,8 +28,7 @@ pub fn run_exact(
     mut factory: impl FnMut(u64) -> Box<dyn Protocol>,
 ) -> RunReport {
     assert!(config.n >= 1, "need at least one station");
-    let mut stations: Vec<Box<dyn Protocol>> =
-        (0..config.n).map(&mut factory).collect();
+    let mut stations: Vec<Box<dyn Protocol>> = (0..config.n).map(&mut factory).collect();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut adv_rng = SmallRng::seed_from_u64(config.seed ^ ADV_SEED_XOR);
     let mut strategy = adversary.strategy();
@@ -82,10 +81,7 @@ pub fn run_exact(
 
         // 3. Record.
         if let Some(tr) = trace.as_mut() {
-            let est = stations
-                .iter()
-                .find(|s| !s.status().terminal())
-                .and_then(|s| s.estimate());
+            let est = stations.iter().find(|s| !s.status().terminal()).and_then(|s| s.estimate());
             match est {
                 Some(u) => tr.push_with_estimate(&truth, u),
                 None => tr.push(&truth),
@@ -128,6 +124,7 @@ pub fn run_exact(
         StopRule::FirstCleanSingle => report.resolved_at.is_none(),
         StopRule::AllTerminated => !report.all_terminated,
     };
+    report.cap_hit = report.timed_out && report.slots == config.max_slots;
     report.leaders = stations
         .iter()
         .enumerate()

@@ -16,7 +16,11 @@
 //!   (n-independent), enabling sweeps to millions of stations.
 //!
 //! Plus the deterministic Rayon-parallel [`MonteCarlo`] driver used by all
-//! experiments.
+//! experiments (with a panic-isolating [`MonteCarlo::run_caught`] variant)
+//! and the [`faults`] subsystem for injecting station crashes, staggered
+//! wakeups, deafness, and sensing errors into exact-engine runs
+//! ([`run_exact_faulty`]), with failures classified by the
+//! [`Outcome`] degradation taxonomy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +28,7 @@
 pub mod cohort;
 pub mod config;
 pub mod exact;
+pub mod faults;
 pub mod protocol;
 pub mod report;
 pub mod runner;
@@ -31,6 +36,7 @@ pub mod runner;
 pub use cohort::{run_cohort, run_cohort_against_oracle, run_cohort_with, sample_transmitters};
 pub use config::{SimConfig, StopRule};
 pub use exact::run_exact;
+pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, StationFaults};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
-pub use report::{EnergyStats, RunReport};
-pub use runner::MonteCarlo;
+pub use report::{EnergyStats, Outcome, RunReport};
+pub use runner::{panic_count, MonteCarlo, TrialOutcome};

@@ -170,9 +170,7 @@ impl<U: UniformProtocol + Send> Protocol for PerStation<U> {
                     self.inner.on_state(slot, ChannelState::Collision);
                 }
             }
-            Observation::TxAssumedCollision => {
-                self.inner.on_state(slot, ChannelState::Collision)
-            }
+            Observation::TxAssumedCollision => self.inner.on_state(slot, ChannelState::Collision),
         }
     }
 

@@ -20,6 +20,50 @@ impl EnergyStats {
     }
 }
 
+/// Degradation taxonomy: how a run ended, beyond binary success/failure.
+///
+/// The paper's model only distinguishes "leader elected" from "not yet";
+/// once stations can crash, oversleep, or mis-sense (see
+/// [`crate::faults`]), failures split into qualitatively different modes
+/// that experiments need to tell apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// A leader was validly determined (see [`RunReport::leader_elected`]).
+    Elected,
+    /// A leader was determined but is crashed at the end of the run — the
+    /// network is once again leaderless.
+    LeaderCrashed,
+    /// More than one station holds `Leader`: a validity violation.
+    MultiLeader,
+    /// The run consumed its entire `max_slots` budget without satisfying
+    /// its stop rule.
+    DeadlineExceeded,
+    /// The run ended (stop rule or protocol finished) without any leader.
+    NoLeader,
+}
+
+impl Outcome {
+    /// All outcomes, in taxonomy order (for table columns).
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Elected,
+        Outcome::LeaderCrashed,
+        Outcome::MultiLeader,
+        Outcome::DeadlineExceeded,
+        Outcome::NoLeader,
+    ];
+
+    /// Short column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Elected => "elected",
+            Outcome::LeaderCrashed => "leader-crashed",
+            Outcome::MultiLeader => "multi-leader",
+            Outcome::DeadlineExceeded => "deadline",
+            Outcome::NoLeader => "no-leader",
+        }
+    }
+}
+
 /// The outcome of one simulated run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -36,8 +80,20 @@ pub struct RunReport {
     /// Whether every station terminated (meaningful for
     /// `StopRule::AllTerminated`).
     pub all_terminated: bool,
-    /// Whether the run hit the `max_slots` cap.
+    /// Whether the run ended without satisfying its stop rule (under
+    /// `FirstCleanSingle`: no clean `Single`; under `AllTerminated`: not
+    /// everyone terminated).
     pub timed_out: bool,
+    /// Whether the run consumed its entire `max_slots` budget without the
+    /// stop rule firing. Distinct from `timed_out`: a run whose protocol
+    /// `finished()` early is a timeout but not a cap hit, and cap-hit is
+    /// the condition that maps to [`Outcome::DeadlineExceeded`].
+    #[serde(default)]
+    pub cap_hit: bool,
+    /// Whether the elected leader is crashed at the end of the run (set
+    /// by [`crate::faults::run_exact_faulty`]).
+    #[serde(default)]
+    pub leader_crashed: bool,
     /// Channel statistics over the whole run (`counts.jammed` includes
     /// noise-corrupted slots — they are indistinguishable on the air).
     pub counts: StateCounts,
@@ -65,6 +121,27 @@ impl RunReport {
             return self.leaders.len() == 1;
         }
         self.resolved_at.is_some()
+    }
+
+    /// Classify the run into the degradation taxonomy.
+    ///
+    /// Precedence: a validity violation (`MultiLeader`) dominates, then
+    /// liveness-after-election failure (`LeaderCrashed`), then success,
+    /// then the budget-exhaustion/no-result split.
+    pub fn outcome(&self) -> Outcome {
+        if self.leaders.len() > 1 {
+            return Outcome::MultiLeader;
+        }
+        if self.leader_crashed {
+            return Outcome::LeaderCrashed;
+        }
+        if self.leader_elected() {
+            return Outcome::Elected;
+        }
+        if self.cap_hit {
+            return Outcome::DeadlineExceeded;
+        }
+        Outcome::NoLeader
     }
 
     /// Fraction of slots the adversary jammed.
@@ -122,5 +199,44 @@ mod tests {
     fn energy_total() {
         let e = EnergyStats { transmissions: 3, listens: 7 };
         assert_eq!(e.total(), 10);
+    }
+
+    #[test]
+    fn outcome_taxonomy_precedence() {
+        let mut r = RunReport::default();
+        assert_eq!(r.outcome(), Outcome::NoLeader);
+        r.cap_hit = true;
+        r.timed_out = true;
+        assert_eq!(r.outcome(), Outcome::DeadlineExceeded);
+        r.timed_out = false;
+        r.cap_hit = false;
+        r.resolved_at = Some(10);
+        assert_eq!(r.outcome(), Outcome::Elected);
+        r.leader_crashed = true;
+        assert_eq!(r.outcome(), Outcome::LeaderCrashed, "a dead leader is not a success");
+        r.leaders = vec![1, 2];
+        assert_eq!(r.outcome(), Outcome::MultiLeader, "validity violation dominates");
+    }
+
+    #[test]
+    fn cap_hit_never_counts_as_elected() {
+        // The satellite regression: a run that exhausted max_slots must
+        // never be aggregated as a successful election, whatever partial
+        // progress it recorded.
+        let mut r = RunReport { slots: 1000, timed_out: true, cap_hit: true, ..Default::default() };
+        assert!(!r.leader_elected());
+        assert_eq!(r.outcome(), Outcome::DeadlineExceeded);
+        // Even a recorded resolution slot does not rescue a timed-out run
+        // (AllTerminated runs can resolve yet fail to terminate).
+        r.resolved_at = Some(500);
+        assert!(!r.leader_elected());
+        assert_ne!(r.outcome(), Outcome::Elected);
+    }
+
+    #[test]
+    fn outcome_labels_cover_all() {
+        let labels: Vec<&str> = Outcome::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert!(labels.contains(&"deadline"));
     }
 }

@@ -8,6 +8,64 @@
 //! the thread schedule.
 
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The result of one trial under [`MonteCarlo::run_caught`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome<R> {
+    /// The trial completed normally.
+    Ok(R),
+    /// The trial panicked; the payload is rendered to a string. The panic
+    /// was caught *inside* the trial closure, so the rest of the sweep is
+    /// unaffected.
+    Panicked(String),
+}
+
+impl<R> TrialOutcome<R> {
+    /// The result, if the trial completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TrialOutcome::Ok(r) => Some(r),
+            TrialOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// A reference to the result, if the trial completed.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            TrialOutcome::Ok(r) => Some(r),
+            TrialOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// Whether the trial panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, TrialOutcome::Panicked(_))
+    }
+
+    /// The panic message, if the trial panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            TrialOutcome::Ok(_) => None,
+            TrialOutcome::Panicked(m) => Some(m),
+        }
+    }
+}
+
+/// Number of panicked trials in a [`MonteCarlo::run_caught`] result.
+pub fn panic_count<R>(outcomes: &[TrialOutcome<R>]) -> u64 {
+    outcomes.iter().filter(|o| o.is_panicked()).count() as u64
+}
+
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A deterministic, parallel Monte-Carlo driver.
 ///
@@ -43,10 +101,25 @@ impl MonteCarlo {
         R: Send,
         F: Fn(u64) -> R + Sync,
     {
-        (0..self.trials)
-            .into_par_iter()
-            .map(|i| f(self.base_seed + i))
-            .collect()
+        (0..self.trials).into_par_iter().map(|i| f(self.base_seed + i)).collect()
+    }
+
+    /// Like [`MonteCarlo::run`], but a panicking trial is isolated: the
+    /// panic is caught inside the per-trial closure (before it can reach
+    /// a worker-thread join) and recorded as [`TrialOutcome::Panicked`],
+    /// so one poisoned seed cannot take down a million-trial sweep.
+    ///
+    /// The standard panic hook still runs (expect one stderr line per
+    /// caught panic); results stay in trial order.
+    pub fn run_caught<R, F>(&self, f: F) -> Vec<TrialOutcome<R>>
+    where
+        R: Send,
+        F: Fn(u64) -> R + Sync,
+    {
+        self.run(|seed| match catch_unwind(AssertUnwindSafe(|| f(seed))) {
+            Ok(r) => TrialOutcome::Ok(r),
+            Err(payload) => TrialOutcome::Panicked(panic_payload_message(payload)),
+        })
     }
 
     /// Run and keep only a projected scalar per trial.
@@ -91,6 +164,40 @@ mod tests {
         let rate = mc.success_rate(|seed| seed % 4 == 0);
         assert!((rate - 0.25).abs() < 1e-12);
         assert_eq!(MonteCarlo::new(0, 0).success_rate(|_| true), 0.0);
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated() {
+        // A deliberately panicking trial closure: the sweep must complete,
+        // the panic must be counted, and every other trial must succeed.
+        let mc = MonteCarlo::new(32, 0);
+        let outcomes = mc.run_caught(|seed| {
+            assert!(seed != 13, "poisoned seed");
+            seed * 3
+        });
+        assert_eq!(outcomes.len(), 32);
+        assert_eq!(panic_count(&outcomes), 1);
+        assert!(outcomes[13].is_panicked());
+        assert!(outcomes[13].panic_message().unwrap().contains("poisoned seed"));
+        assert_eq!(outcomes[12].as_ok(), Some(&36));
+        let ok: Vec<u64> = outcomes.into_iter().filter_map(TrialOutcome::ok).collect();
+        assert_eq!(ok.len(), 31);
+    }
+
+    #[test]
+    fn run_caught_without_panics_matches_run() {
+        let mc = MonteCarlo::new(16, 5);
+        let plain = mc.run(|s| s + 1);
+        let caught: Vec<u64> =
+            mc.run_caught(|s| s + 1).into_iter().filter_map(TrialOutcome::ok).collect();
+        assert_eq!(plain, caught);
+    }
+
+    #[test]
+    fn non_string_payloads_are_rendered() {
+        let mc = MonteCarlo::new(1, 0);
+        let outcomes = mc.run_caught(|_| -> u64 { std::panic::panic_any(42i32) });
+        assert_eq!(outcomes[0].panic_message(), Some("<non-string panic payload>"));
     }
 
     #[test]

@@ -82,8 +82,7 @@ mod tests {
         let ok = mc.success_rate(|seed| {
             let config =
                 SimConfig::new(512, CdModel::Strong).with_seed(seed).with_max_slots(100_000);
-            run_cohort(&config, &AdversarySpec::passive(), BackoffProtocol::new)
-                .leader_elected()
+            run_cohort(&config, &AdversarySpec::passive(), BackoffProtocol::new).leader_elected()
         });
         assert!(ok >= 0.95, "rate {ok}");
     }

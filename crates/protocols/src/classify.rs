@@ -61,11 +61,7 @@ impl SlotTaxonomy {
     /// # Panics
     /// Panics if the trace has no estimate series.
     pub fn from_trace(trace: &Trace, n: u64, eps: f64) -> Self {
-        assert_eq!(
-            trace.estimates.len(),
-            trace.len(),
-            "trace must carry one estimate per slot"
-        );
+        assert_eq!(trace.estimates.len(), trace.len(), "trace must carry one estimate per slot");
         let u0 = (n.max(2) as f64).log2();
         let a = 8.0 / eps;
         let low = u0 - (2.0 * a.ln()).log2();
@@ -161,9 +157,8 @@ mod tests {
     #[test]
     fn every_slot_classified_exactly_once() {
         // Lemma 2.3 point 1: the classes partition the slots.
-        let entries: Vec<(u64, bool, f64)> = (0..1000)
-            .map(|i| ((i % 7) as u64, i % 11 == 0, (i % 17) as f64))
-            .collect();
+        let entries: Vec<(u64, bool, f64)> =
+            (0..1000).map(|i| ((i % 7) as u64, i % 11 == 0, (i % 17) as f64)).collect();
         let trace = mk_trace(&entries);
         let tax = SlotTaxonomy::from_trace(&trace, 256, 0.5);
         assert_eq!(tax.total(), 1000);

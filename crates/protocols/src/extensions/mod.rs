@@ -8,7 +8,10 @@
 //! * [`k_selection`] — electing `k` distinct leaders by continuing the
 //!   LESK dynamics past each `Single`, with winners retiring;
 //! * [`fair_use`] — rank assignment + TDMA, built to expose why fair use
-//!   *despite jamming* needs more than a public schedule.
+//!   *despite jamming* needs more than a public schedule;
+//! * [`supervisor`] — restart-with-backoff supervision of a per-station
+//!   election, for stations that crash, oversleep, or mis-sense
+//!   (experiment E24).
 //!
 //! These are *our* constructions following the paper's suggestion; the
 //! paper proves nothing about them, so the corresponding experiments
@@ -18,8 +21,10 @@ pub mod duty_cycle;
 pub mod fair_use;
 pub mod k_selection;
 pub mod size_approx;
+pub mod supervisor;
 
 pub use duty_cycle::DutyCycledLesk;
 pub use fair_use::{run_fair_use, targeted_tdma_jammer, FairUseReport};
 pub use k_selection::{run_k_selection, KSelectionReport};
 pub use size_approx::SizeApproxProtocol;
+pub use supervisor::{RestartFactory, Supervisor};

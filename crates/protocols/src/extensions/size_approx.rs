@@ -51,11 +51,8 @@ impl SizeApproxProtocol {
     /// The size estimate `2^ū`, meaningful once finished (or at any point
     /// after the averaging window opened).
     pub fn estimate_n(&self) -> f64 {
-        let u_bar = if self.tail_count > 0 {
-            self.tail_sum / self.tail_count as f64
-        } else {
-            self.u
-        };
+        let u_bar =
+            if self.tail_count > 0 { self.tail_sum / self.tail_count as f64 } else { self.u };
         u_bar.exp2()
     }
 
@@ -120,10 +117,7 @@ mod tests {
             let est = approx(n, eps, &AdversarySpec::passive(), 5);
             let lo = n as f64 / (2.0 * a.ln()) / 2.0; // band low + slack
             let hi = n as f64 * 2.0 * a.sqrt() * 2.0; // band high + slack
-            assert!(
-                est >= lo && est <= hi,
-                "n={n}: estimate {est} outside [{lo}, {hi}]"
-            );
+            assert!(est >= lo && est <= hi, "n={n}: estimate {est} outside [{lo}, {hi}]");
         }
     }
 

@@ -1,0 +1,223 @@
+//! Restart-with-backoff supervision: graceful degradation for elections
+//! whose stations live beyond the paper's perfect-station model.
+//!
+//! The paper's protocols assume every station runs flawlessly forever.
+//! [`Supervisor`] wraps any per-station [`Protocol`] with a *silence
+//! watchdog*: if no unjammed `Single` has been observed for a whole
+//! watchdog window, the inner election is presumed wedged (crashed
+//! peers, missed wakeups, corrupted estimates — see
+//! `jle_engine::faults`) and is restarted from fresh state, with the
+//! window doubling each restart (exponential backoff, so a merely *slow*
+//! election is eventually left alone).
+//!
+//! Two properties matter and are tested:
+//!
+//! * **Transparency** — until the first watchdog expiry the wrapper
+//!   delegates `act` verbatim (same RNG draws, same actions), so a
+//!   supervised run is slot-for-slot identical to a bare run that
+//!   resolves within the first window. Supervision is free insurance for
+//!   healthy elections.
+//! * **Safety** — the supervisor never fabricates an observation and
+//!   never restarts a terminated station: a heard `Single` still
+//!   terminates the inner protocol, so validity is untouched and the
+//!   adversary's budget accounting is unaffected.
+
+use crate::lesk::LeskProtocol;
+use jle_engine::{PerStation, Protocol, Status};
+use jle_radio::cd::Observation;
+use rand::RngCore;
+
+/// Factory building a fresh inner election instance on each (re)start.
+pub type RestartFactory = Box<dyn FnMut() -> Box<dyn Protocol> + Send>;
+
+/// A per-station restart supervisor (see module docs).
+pub struct Supervisor {
+    factory: RestartFactory,
+    inner: Box<dyn Protocol>,
+    initial_window: u64,
+    window: u64,
+    silence: u64,
+    restarts: u32,
+}
+
+impl Supervisor {
+    /// Supervise the election built by `factory`, restarting it whenever
+    /// `watchdog_window` consecutive observed slots pass without an
+    /// unjammed `Single`; the window doubles after each restart.
+    ///
+    /// # Panics
+    /// Panics if `watchdog_window` is zero.
+    pub fn new(watchdog_window: u64, mut factory: RestartFactory) -> Self {
+        assert!(watchdog_window > 0, "watchdog window must be positive");
+        let inner = factory();
+        Supervisor {
+            factory,
+            inner,
+            initial_window: watchdog_window,
+            window: watchdog_window,
+            silence: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Convenience: a supervised strong-CD LESK station.
+    pub fn over_lesk(eps: f64, watchdog_window: u64) -> Self {
+        Supervisor::new(
+            watchdog_window,
+            Box::new(move || Box::new(PerStation::new(LeskProtocol::new(eps)))),
+        )
+    }
+
+    /// Number of restarts performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// The current (possibly backed-off) watchdog window.
+    pub fn current_window(&self) -> u64 {
+        self.window
+    }
+
+    /// The window the supervisor was created with.
+    pub fn initial_window(&self) -> u64 {
+        self.initial_window
+    }
+
+    /// Consecutive observed slots without an unjammed `Single`.
+    pub fn silence(&self) -> u64 {
+        self.silence
+    }
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("window", &self.window)
+            .field("silence", &self.silence)
+            .field("restarts", &self.restarts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Protocol for Supervisor {
+    fn act(&mut self, slot: u64, rng: &mut dyn RngCore) -> jle_engine::Action {
+        self.inner.act(slot, rng)
+    }
+
+    fn feedback(&mut self, slot: u64, transmitted: bool, obs: Observation) {
+        let heard = obs.heard_single();
+        self.inner.feedback(slot, transmitted, obs);
+        if heard {
+            self.silence = 0;
+            return;
+        }
+        self.silence += 1;
+        if self.silence >= self.window && !self.inner.status().terminal() {
+            // Presumed wedged: re-run the election from fresh state and
+            // back the watchdog off so a slow-but-live election is not
+            // restarted forever.
+            self.inner = (self.factory)();
+            self.silence = 0;
+            self.window = self.window.saturating_mul(2);
+            self.restarts += 1;
+        }
+    }
+
+    fn status(&self) -> Status {
+        self.inner.status()
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.inner.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_adversary::AdversarySpec;
+    use jle_engine::{run_exact, SimConfig, UniformProtocol};
+    use jle_radio::{CdModel, ChannelState};
+
+    #[derive(Debug, Clone)]
+    struct Fixed(f64);
+    impl UniformProtocol for Fixed {
+        fn tx_prob(&mut self, _: u64) -> f64 {
+            self.0
+        }
+        fn on_state(&mut self, _: u64, _: ChannelState) {}
+    }
+
+    fn null_obs() -> Observation {
+        Observation::State(ChannelState::Null)
+    }
+
+    #[test]
+    fn watchdog_restarts_after_silence_and_backs_off() {
+        let mut sup = Supervisor::new(4, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+        for slot in 0..3 {
+            sup.feedback(slot, false, null_obs());
+        }
+        assert_eq!(sup.restarts(), 0);
+        sup.feedback(3, false, null_obs());
+        assert_eq!(sup.restarts(), 1, "4 silent slots fire the watchdog");
+        assert_eq!(sup.current_window(), 8, "window doubles");
+        assert_eq!(sup.silence(), 0);
+        for slot in 4..12 {
+            sup.feedback(slot, false, null_obs());
+        }
+        assert_eq!(sup.restarts(), 2);
+        assert_eq!(sup.current_window(), 16);
+    }
+
+    #[test]
+    fn heard_single_resets_the_watchdog() {
+        let mut sup = Supervisor::new(4, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+        sup.feedback(0, false, null_obs());
+        sup.feedback(1, false, null_obs());
+        sup.feedback(2, false, Observation::State(ChannelState::Single));
+        // The Single terminated the inner station (NonLeader) and reset
+        // the silence counter; no restart can follow.
+        assert_eq!(sup.silence(), 0);
+        assert_eq!(sup.status(), Status::NonLeader);
+        for slot in 3..100 {
+            sup.feedback(slot, false, null_obs());
+        }
+        assert_eq!(sup.restarts(), 0, "terminated stations are never restarted");
+    }
+
+    #[test]
+    fn restart_resets_inner_state() {
+        // Inner LESK: drive u up with collisions, fire the watchdog, and
+        // check the estimate came back to 0 (fresh instance).
+        let mut sup = Supervisor::over_lesk(0.5, 8);
+        for slot in 0..7 {
+            sup.feedback(slot, false, Observation::State(ChannelState::Collision));
+        }
+        assert!(sup.estimate().unwrap() > 0.0);
+        sup.feedback(7, false, Observation::State(ChannelState::Collision));
+        assert_eq!(sup.restarts(), 1);
+        assert_eq!(sup.estimate(), Some(0.0), "restart loses the estimate");
+    }
+
+    #[test]
+    fn transparent_until_first_expiry() {
+        // A supervised election that resolves within the first watchdog
+        // window is slot-for-slot identical to the bare run.
+        let config = SimConfig::new(8, CdModel::Strong).with_seed(21).with_max_slots(50_000);
+        let adv = AdversarySpec::passive();
+        let bare = run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(0.5))));
+        let supervised =
+            run_exact(&config, &adv, |_| Box::new(Supervisor::over_lesk(0.5, 1 << 20)));
+        assert_eq!(bare.resolved_at, supervised.resolved_at);
+        assert_eq!(bare.winner, supervised.winner);
+        assert_eq!(bare.counts, supervised.counts);
+        assert_eq!(bare.energy, supervised.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog window must be positive")]
+    fn rejects_zero_window() {
+        let _ = Supervisor::new(0, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+    }
+}

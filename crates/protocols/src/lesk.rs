@@ -169,7 +169,8 @@ mod tests {
         // n = 256: Theorem 2.6 predicts O(log n) slots for constant eps.
         let mc = MonteCarlo::new(50, 1000);
         let slots = mc.collect_f64(|seed| {
-            let config = SimConfig::new(256, CdModel::Strong).with_seed(seed).with_max_slots(100_000);
+            let config =
+                SimConfig::new(256, CdModel::Strong).with_seed(seed).with_max_slots(100_000);
             let r = run_cohort(&config, &AdversarySpec::passive(), || LeskProtocol::new(0.5));
             assert!(r.leader_elected(), "must elect, seed {seed}");
             r.slots as f64
@@ -184,8 +185,7 @@ mod tests {
     #[test]
     fn elects_under_saturating_jammer() {
         let eps = 0.5;
-        let spec =
-            AdversarySpec::new(Rate::from_f64(eps), 32, JamStrategyKind::Saturating);
+        let spec = AdversarySpec::new(Rate::from_f64(eps), 32, JamStrategyKind::Saturating);
         let mc = MonteCarlo::new(30, 77);
         let ok = mc.success_rate(|seed| {
             let config =

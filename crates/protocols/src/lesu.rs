@@ -254,8 +254,7 @@ mod tests {
     #[test]
     fn schedule_reaches_small_eps_before_election_under_heavy_jamming() {
         let spec = AdversarySpec::new(Rate::from_ratio(1, 8), 8, JamStrategyKind::Saturating);
-        let config =
-            SimConfig::new(115, CdModel::Strong).with_seed(11).with_max_slots(5_000_000);
+        let config = SimConfig::new(115, CdModel::Strong).with_seed(11).with_max_slots(5_000_000);
         let (report, proto) = run_cohort_with(&config, &spec, LesuProtocol::new);
         assert!(report.leader_elected());
         // By election time the sweep should have pushed past eps_1.

@@ -37,7 +37,7 @@ pub use classify::SlotTaxonomy;
 pub use estimation::EstimationProtocol;
 pub use extensions::{
     run_fair_use, run_k_selection, targeted_tdma_jammer, DutyCycledLesk, FairUseReport,
-    KSelectionReport, SizeApproxProtocol,
+    KSelectionReport, RestartFactory, SizeApproxProtocol, Supervisor,
 };
 pub use lesk::LeskProtocol;
 pub use lesu::LesuProtocol;

@@ -195,9 +195,7 @@ mod tests {
         // Smaller eps means longer runtime.
         assert!(lesk_runtime_shape(1 << 10, 0.1, 1) > lesk_runtime_shape(1 << 10, 0.5, 1));
         // Lower bound is below the upper shape for constant eps.
-        assert!(
-            lower_bound_shape(1 << 10, 0.5, 1) <= lesk_runtime_shape(1 << 10, 0.5, 1) * 10.0
-        );
+        assert!(lower_bound_shape(1 << 10, 0.5, 1) <= lesk_runtime_shape(1 << 10, 0.5, 1) * 10.0);
         // ARSS is polylog⁴: must dominate LESK's log for large n.
         assert!(arss_runtime_shape(1 << 20, 1) > lesk_runtime_shape(1 << 20, 0.5, 1));
     }

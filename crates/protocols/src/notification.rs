@@ -160,13 +160,12 @@ where
                     self.inner_update(obs.effective_state());
                 }
             }
-            (Phase::RunA1, SlotClass::C2)
-                if heard_single => {
-                    // A Single in C2 while our leader flag is still
-                    // undefined: we are `l`, the C1 winner.
-                    self.phase = Phase::NotifyC3;
-                    self.inner = None;
-                }
+            (Phase::RunA1, SlotClass::C2) if heard_single => {
+                // A Single in C2 while our leader flag is still
+                // undefined: we are `l`, the C1 winner.
+                self.phase = Phase::NotifyC3;
+                self.inner = None;
+            }
             (Phase::RunA2, SlotClass::C2) => {
                 if heard_single {
                     // leader = false and the C2 Single arrived: keep C1
@@ -177,19 +176,19 @@ where
                     self.inner_update(obs.effective_state());
                 }
             }
-            (Phase::RunA2, SlotClass::C3) | (Phase::JamC1, SlotClass::C3)
-                if heard_single => {
-                    // The leader's C3 Single: we know the election is
-                    // over and may terminate. (RunA2 can reach this when
-                    // it was itself the C2 transmitter and missed the C2
-                    // Single.)
-                    self.status = Status::NonLeader;
-                }
+            (Phase::RunA2, SlotClass::C3) | (Phase::JamC1, SlotClass::C3) if heard_single => {
+                // The leader's C3 Single: we know the election is
+                // over and may terminate. (RunA2 can reach this when
+                // it was itself the C2 transmitter and missed the C2
+                // Single.)
+                self.status = Status::NonLeader;
+            }
             (Phase::NotifyC3, SlotClass::C1)
-                if !transmitted && obs.effective_state() == ChannelState::Null => {
-                    // C1 fell silent: everyone else has terminated.
-                    self.status = Status::Leader;
-                }
+                if !transmitted && obs.effective_state() == ChannelState::Null =>
+            {
+                // C1 fell silent: everyone else has terminated.
+                self.status = Status::Leader;
+            }
             _ => {}
         }
     }
@@ -425,7 +424,8 @@ mod tests {
             r.slots as f64
         });
         let strong: Vec<f64> = mc.collect_f64(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(2_000_000);
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(2_000_000);
             let r = jle_engine::run_cohort(&config, &AdversarySpec::passive(), || {
                 LeskProtocol::new(0.5)
             });

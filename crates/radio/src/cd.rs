@@ -108,10 +108,7 @@ mod tests {
         // not find out — this is exactly why the paper needs Notification.
         let truth = SlotTruth::new(1, false);
         assert_eq!(observe(CdModel::Weak, true, &truth), Observation::TxAssumedCollision);
-        assert_eq!(
-            observe(CdModel::Weak, false, &truth),
-            Observation::State(ChannelState::Single)
-        );
+        assert_eq!(observe(CdModel::Weak, false, &truth), Observation::State(ChannelState::Single));
     }
 
     #[test]
@@ -145,22 +142,13 @@ mod tests {
 
     #[test]
     fn effective_state_mapping() {
-        assert_eq!(
-            Observation::State(ChannelState::Null).effective_state(),
-            ChannelState::Null
-        );
-        assert_eq!(
-            Observation::TxAssumedCollision.effective_state(),
-            ChannelState::Collision
-        );
+        assert_eq!(Observation::State(ChannelState::Null).effective_state(), ChannelState::Null);
+        assert_eq!(Observation::TxAssumedCollision.effective_state(), ChannelState::Collision);
         assert_eq!(
             Observation::NoCd(NoCdState::NoSingle).effective_state(),
             ChannelState::Collision
         );
-        assert_eq!(
-            Observation::NoCd(NoCdState::Single).effective_state(),
-            ChannelState::Single
-        );
+        assert_eq!(Observation::NoCd(NoCdState::Single).effective_state(), ChannelState::Single);
     }
 
     #[test]

@@ -149,12 +149,7 @@ pub fn interval_slots(level: u32, family: u8) -> impl Iterator<Item = u64> {
 /// jammed by a `(T, 1−ε)`-bounded adversary, i.e. `2^i ≥ T` (`i ≥ log₂ T`).
 #[inline]
 pub fn safe_level(t_window: u64) -> u32 {
-    if t_window <= 1 {
-        1
-    } else {
-        (t_window - 1).ilog2() + 1
-    }
-    .max(1)
+    if t_window <= 1 { 1 } else { (t_window - 1).ilog2() + 1 }.max(1)
 }
 
 #[cfg(test)]
@@ -164,8 +159,7 @@ mod tests {
     #[test]
     fn paper_examples_level_one_and_two() {
         // i = 1: C1 = {3,4}, C2 = {5,6}, C3 = {7,8}
-        for (slot, fam, off) in [(3, 1, 0), (4, 1, 1), (5, 2, 0), (6, 2, 1), (7, 3, 0), (8, 3, 1)]
-        {
+        for (slot, fam, off) in [(3, 1, 0), (4, 1, 1), (5, 2, 0), (6, 2, 1), (7, 3, 0), (8, 3, 1)] {
             let iv = classify(slot).unwrap();
             assert_eq!((iv.level, iv.family, iv.offset), (1, fam, off), "slot {slot}");
         }

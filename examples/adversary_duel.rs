@@ -42,8 +42,7 @@ fn main() {
         });
         let slots: Vec<f64> = results.iter().map(|r| r.0).collect();
         let summary = Summary::of(&slots).unwrap();
-        let frac: f64 =
-            results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
+        let frac: f64 = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
         if baseline.is_none() {
             baseline = Some(summary.median);
         }

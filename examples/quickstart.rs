@@ -14,8 +14,7 @@ fn main() {
 
     // The adversary: requests a jam every slot; the (T, 1-eps) budget
     // clamp turns that into the maximally aggressive admissible jammer.
-    let adversary =
-        AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating);
+    let adversary = AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating);
 
     // LESK (Algorithm 1 of the paper): stations share an estimate u of
     // log2(n), transmit with probability 2^-u, and nudge u down on silence
@@ -27,9 +26,15 @@ fn main() {
     println!("network size      : {n} stations (unknown to the protocol)");
     println!("adversary         : {}", adversary.label());
     println!("slots to election : {}", report.slots);
-    println!("slots jammed      : {} ({:.0}%)", report.counts.jammed, report.jam_fraction() * 100.0);
-    println!("channel stats     : {} null / {} single / {} collision",
-        report.counts.nulls, report.counts.singles, report.counts.collisions);
+    println!(
+        "slots jammed      : {} ({:.0}%)",
+        report.counts.jammed,
+        report.jam_fraction() * 100.0
+    );
+    println!(
+        "channel stats     : {} null / {} single / {} collision",
+        report.counts.nulls, report.counts.singles, report.counts.collisions
+    );
     println!("leader            : station #{}", report.winner.unwrap());
     println!(
         "theory envelope   : O(log n / (eps^3 log(1/eps))) = O({:.0}) slots",

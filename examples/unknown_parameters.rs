@@ -19,10 +19,7 @@ fn main() {
     let adversary =
         AdversarySpec::new(Rate::from_f64(hidden_eps), hidden_t, JamStrategyKind::Saturating);
 
-    println!(
-        "{:>8} {:>10} {:>12} {:>10} {:>14}",
-        "n", "slots", "t0", "sweep(i,j)", "eps_j vs eps"
-    );
+    println!("{:>8} {:>10} {:>12} {:>10} {:>14}", "n", "slots", "t0", "sweep(i,j)", "eps_j vs eps");
     for k in [7u32, 9, 11, 13] {
         let n = 1u64 << k;
         let config = SimConfig::new(n, CdModel::Strong).with_seed(99).with_max_slots(100_000_000);

@@ -48,11 +48,13 @@ pub mod prelude {
     pub use jle_adversary::{AdversarySpec, JamBudget, JamStrategy, JamStrategyKind, Rate};
     pub use jle_analysis::{linear_fit, log2_fit, Series, Summary, Table};
     pub use jle_engine::{
-        run_cohort, run_cohort_with, run_exact, MonteCarlo, RunReport, SimConfig, StopRule,
+        panic_count, run_cohort, run_cohort_with, run_exact, run_exact_faulty, FaultPlan,
+        FaultyStation, MonteCarlo, Outcome, PerStation, Protocol, RunReport, SimConfig,
+        StationFaults, StopRule, TrialOutcome,
     };
     pub use jle_protocols::{
         lewk, lewu, ArssMacProtocol, BackoffProtocol, EstimationProtocol, LeskProtocol,
-        LesuProtocol, Notification, SlotTaxonomy, WillardProtocol,
+        LesuProtocol, Notification, SlotTaxonomy, Supervisor, WillardProtocol,
     };
     pub use jle_radio::{CdModel, ChannelState, Observation, SlotTruth};
 }

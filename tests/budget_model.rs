@@ -38,10 +38,8 @@ fn saturating_jammer_never_violates_the_window_bound() {
     for (p, q, t) in [(1u64, 2u64, 4u64), (1, 4, 16), (7, 10, 8)] {
         let eps = Rate::from_ratio(p, q);
         let spec = AdversarySpec::new(eps, t, JamStrategyKind::Saturating);
-        let config = SimConfig::new(64, CdModel::Strong)
-            .with_seed(5)
-            .with_max_slots(2_000)
-            .with_trace(true);
+        let config =
+            SimConfig::new(64, CdModel::Strong).with_seed(5).with_max_slots(2_000).with_trace(true);
         // Always-collide workload so the run never ends early.
         #[derive(Clone)]
         struct Collide;
@@ -92,10 +90,8 @@ fn jammed_slots_read_as_collisions() {
     // Every jammed slot in a trace must be observed as Collision — the
     // indistinguishability axiom of the model.
     let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
-    let config = SimConfig::new(32, CdModel::Strong)
-        .with_seed(3)
-        .with_max_slots(100_000)
-        .with_trace(true);
+    let config =
+        SimConfig::new(32, CdModel::Strong).with_seed(3).with_max_slots(100_000).with_trace(true);
     let r = run_cohort(&config, &spec, || LeskProtocol::new(0.5));
     for slot in r.trace.as_ref().unwrap().iter() {
         if slot.jammed() {
@@ -119,10 +115,8 @@ fn adversary_cannot_create_singles_or_nulls() {
         fn on_state(&mut self, _: u64, _: ChannelState) {}
     }
     let spec = AdversarySpec::new(Rate::from_f64(0.5), 4, JamStrategyKind::Saturating);
-    let config = SimConfig::new(16, CdModel::Strong)
-        .with_seed(1)
-        .with_max_slots(5_000)
-        .with_trace(true);
+    let config =
+        SimConfig::new(16, CdModel::Strong).with_seed(1).with_max_slots(5_000).with_trace(true);
     let r = run_cohort(&config, &spec, || Silent);
     assert_eq!(r.counts.singles, 0);
     assert_eq!(r.resolved_at, None);

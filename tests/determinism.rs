@@ -45,17 +45,13 @@ fn exact_runs_are_bit_identical() {
 #[test]
 fn different_seeds_differ() {
     let mk = |seed| {
-        let config =
-            SimConfig::new(500, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
+        let config = SimConfig::new(500, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
         run_cohort(&config, &spec(), || LeskProtocol::new(0.4))
     };
     // At least one of 8 consecutive seeds must produce a different
     // election time (all-equal would indicate a seeding bug).
     let base = mk(100).slots;
-    assert!(
-        (101..108).any(|s| mk(s).slots != base),
-        "8 seeds produced identical runs"
-    );
+    assert!((101..108).any(|s| mk(s).slots != base), "8 seeds produced identical runs");
 }
 
 #[test]
@@ -64,8 +60,7 @@ fn monte_carlo_is_order_independent() {
     // Monte Carlo return identical vectors.
     let mc = MonteCarlo::new(64, 5);
     let f = |seed: u64| {
-        let config =
-            SimConfig::new(128, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
+        let config = SimConfig::new(128, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
         run_cohort(&config, &spec(), || LeskProtocol::new(0.4)).slots
     };
     assert_eq!(mc.run(f), mc.run(f));

@@ -33,11 +33,7 @@ fn lesk_elects_against_every_adversary_strong_cd() {
                 .with_seed(seed * 31 + ai as u64)
                 .with_max_slots(5_000_000);
             let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
-            assert!(
-                r.leader_elected(),
-                "LESK failed vs {} seed {seed}",
-                adv.label()
-            );
+            assert!(r.leader_elected(), "LESK failed vs {} seed {seed}", adv.label());
             assert_eq!(r.leaders.len(), 1);
         }
     }

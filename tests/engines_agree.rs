@@ -15,8 +15,7 @@ fn means(n: u64, trials: u64) -> (f64, f64) {
         let config = SimConfig::new(n, CdModel::Strong)
             .with_seed(seed ^ 0x5555_5555)
             .with_max_slots(5_000_000);
-        run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(0.5)))).slots
-            as f64
+        run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(0.5)))).slots as f64
     });
     let m = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
     (m(&cohort), m(&exact))

@@ -13,14 +13,8 @@ fn k_selection_across_adversaries() {
     let k = 12u64;
     for (name, adv) in [
         ("none", AdversarySpec::passive()),
-        (
-            "saturating",
-            AdversarySpec::new(Rate::from_f64(eps), 16, JamStrategyKind::Saturating),
-        ),
-        (
-            "periodic",
-            AdversarySpec::new(Rate::from_f64(eps), 16, JamStrategyKind::PeriodicFront),
-        ),
+        ("saturating", AdversarySpec::new(Rate::from_f64(eps), 16, JamStrategyKind::Saturating)),
+        ("periodic", AdversarySpec::new(Rate::from_f64(eps), 16, JamStrategyKind::PeriodicFront)),
     ] {
         for seed in 0..4u64 {
             let config =
@@ -96,9 +90,7 @@ fn fair_use_targeting_starves_exactly_the_victim() {
 fn oracle_negative_control_through_facade() {
     use jamming_leader_election::engine::run_cohort_against_oracle;
     let config = SimConfig::new(128, CdModel::Strong).with_seed(2).with_max_slots(50_000);
-    let r = run_cohort_against_oracle(&config, Rate::from_f64(0.1), 32, || {
-        LeskProtocol::new(0.1)
-    });
+    let r = run_cohort_against_oracle(&config, Rate::from_f64(0.1), 32, || LeskProtocol::new(0.1));
     assert!(r.timed_out, "oracle must block");
     assert_eq!(r.counts.singles, 0);
     // Identical budget, fair rules: election succeeds.

@@ -42,10 +42,7 @@ fn lesk_beats_the_theorem_envelope() {
         });
         let med = jamming_leader_election::analysis::percentile(&xs, 0.5);
         let envelope = 100.0 * math::lesk_runtime_shape(n, eps, t);
-        assert!(
-            med <= envelope,
-            "n={n} eps={eps} T={t}: median {med} above envelope {envelope}"
-        );
+        assert!(med <= envelope, "n={n} eps={eps} T={t}: median {med} above envelope {envelope}");
     }
 }
 
@@ -59,8 +56,7 @@ fn lower_bound_adversary_forces_at_least_t_ish_time() {
     let adv = AdversarySpec::new(Rate::from_f64(0.5), t, JamStrategyKind::PeriodicFront);
     let mc = MonteCarlo::new(10, 44);
     let xs = mc.collect_f64(|seed| {
-        let config =
-            SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(50_000_000);
+        let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(50_000_000);
         let r = run_cohort(&config, &adv, || LeskProtocol::new(0.5));
         assert!(r.leader_elected());
         r.slots as f64
@@ -72,10 +68,7 @@ fn lower_bound_adversary_forces_at_least_t_ish_time() {
     // What the lower bound really forbids: electing with fewer than
     // Omega(log n) *unjammed* slots. Check the weaker, airtight form.
     let min = xs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        min >= 96.0,
-        "election in {min} slots would beat the information-theoretic minimum"
-    );
+    assert!(min >= 96.0, "election in {min} slots would beat the information-theoretic minimum");
     // And the median must exceed the jammed prefix length.
     let med = jamming_leader_election::analysis::percentile(&xs, 0.5);
     assert!(med >= 2_500.0, "median {med} inside the fully-jammed prefix");
@@ -90,14 +83,9 @@ fn estimation_is_logarithmic_in_n() {
         let xs = mc.collect_f64(|seed| {
             let config =
                 SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(1_000_000);
-            run_cohort(&config, &AdversarySpec::passive(), EstimationProtocol::paper).slots
-                as f64
+            run_cohort(&config, &AdversarySpec::passive(), EstimationProtocol::paper).slots as f64
         });
         let p90 = jamming_leader_election::analysis::percentile(&xs, 0.9);
-        assert!(
-            p90 <= 64.0 * k as f64,
-            "Estimation at n=2^{k} took {p90} slots (cap {})",
-            64 * k
-        );
+        assert!(p90 <= 64.0 * k as f64, "Estimation at n=2^{k} took {p90} slots (cap {})", 64 * k);
     }
 }

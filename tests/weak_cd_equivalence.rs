@@ -11,12 +11,8 @@ fn spec() -> AdversarySpec {
 #[test]
 fn lesk_runs_identically_under_weak_and_strong_cd_until_first_single() {
     for seed in [1u64, 7, 42, 1234] {
-        let mk = |cd| {
-            SimConfig::new(300, cd)
-                .with_seed(seed)
-                .with_max_slots(5_000_000)
-                .with_trace(true)
-        };
+        let mk =
+            |cd| SimConfig::new(300, cd).with_seed(seed).with_max_slots(5_000_000).with_trace(true);
         let strong = run_cohort(&mk(CdModel::Strong), &spec(), || LeskProtocol::new(0.4));
         let weak = run_cohort(&mk(CdModel::Weak), &spec(), || LeskProtocol::new(0.4));
         assert_eq!(strong.slots, weak.slots, "seed {seed}");

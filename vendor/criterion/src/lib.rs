@@ -1,0 +1,258 @@
+//! Offline vendor shim for the subset of `criterion` 0.5 this workspace
+//! uses. Provides real wall-clock measurements (calibrated iteration
+//! counts, median-of-samples reporting, optional element throughput) but
+//! none of criterion's statistics, HTML reports, or baselines — results
+//! are printed as plain text, one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation: scales the report into elements/second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level driver: holds defaults shared by all groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.sample_size;
+        run_benchmark("", &id.into().id, sample_size, None, f);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into().id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Target wall-clock per timed sample; keeps total runtime bounded while
+/// amortizing timer overhead.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: run one iteration to estimate cost, then choose an
+    // iteration count that fills TARGET_SAMPLE.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.3} MB/s", n as f64 / median * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("  {label}: {} ns/iter (median of {sample_size}){rate}", fmt_ns(median));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1e3 {
+        // Thousands separators keep large counts readable.
+        let whole = ns.round() as u64;
+        let s = whole.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push('_');
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline vendor shim for the subset of `rayon` this workspace uses:
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Implemented as a chunked fan-out over `std::thread::scope`. Order is
+//! preserved (chunk `i` writes slot `i` of the output), and a panic in any
+//! worker is re-raised on the calling thread via `resume_unwind`, matching
+//! rayon's propagation semantics.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (materializes the source).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// Minimal `ParallelIterator`: just `map` + `collect`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn map<U, F>(self, f: F) -> ParMap<Self::Item, U, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<U, F>(self, f: F) -> ParMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParMap { items: self.items, f, _out: core::marker::PhantomData }
+    }
+}
+
+/// The result of `ParIter::map`, ready to `collect`.
+pub struct ParMap<T: Send, U: Send, F: Fn(T) -> U + Sync + Send> {
+    items: Vec<T>,
+    f: F,
+    _out: core::marker::PhantomData<fn() -> U>,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync + Send> ParMap<T, U, F> {
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_par_map(self)
+    }
+}
+
+/// Collection target for `ParMap::collect`.
+pub trait FromParallelIterator<U: Send>: Sized {
+    fn from_par_map<T: Send, F: Fn(T) -> U + Sync + Send>(m: ParMap<T, U, F>) -> Self;
+}
+
+impl<U: Send> FromParallelIterator<U> for Vec<U> {
+    fn from_par_map<T: Send, F: Fn(T) -> U + Sync + Send>(m: ParMap<T, U, F>) -> Self {
+        run_chunked(m.items, &m.f)
+    }
+}
+
+fn run_chunked<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    // Split the input into owned chunks up front so each worker thread
+    // gets plain ownership of its slice of work.
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn vec_source() {
+        let v: Vec<String> = vec![1, 2, 3].into_par_iter().map(|i: i32| format!("{i}")).collect();
+        assert_eq!(v, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0u64..100)
+                .into_par_iter()
+                .map(|i| if i == 42 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+}

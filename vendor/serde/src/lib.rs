@@ -1,0 +1,313 @@
+//! Offline vendor shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor architecture, this shim round-trips every
+//! serializable type through an owned JSON value tree ([`value::Value`]):
+//! `Serialize` renders to a `Value`, `Deserialize` reads from one, and the
+//! companion `serde_json` shim converts `Value` to/from text. The derive
+//! macros (`serde_derive`, re-exported under the `derive` feature) generate
+//! these impls with serde's externally-tagged enum representation, so JSON
+//! produced by the real serde for this workspace's types parses here and
+//! vice versa. Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(default)]`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Error, Value};
+
+/// Render `self` as a JSON value tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && f >= i64::MIN as f64
+                            && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    ref other => Err(Error::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => {
+                Err(Error::custom(format!("expected single-char string, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) => xs.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) if xs.len() == 2 => {
+                Ok((A::from_json_value(&xs[0])?, B::from_json_value(&xs[1])?))
+            }
+            other => {
+                Err(Error::custom(format!("expected 2-element array, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_json_value(), self.1.to_json_value(), self.2.to_json_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) if xs.len() == 3 => Ok((
+                A::from_json_value(&xs[0])?,
+                B::from_json_value(&xs[1])?,
+                C::from_json_value(&xs[2])?,
+            )),
+            other => {
+                Err(Error::custom(format!("expected 3-element array, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_json_value(&42u64.to_json_value()).unwrap(), 42);
+        assert_eq!(i64::from_json_value(&(-7i64).to_json_value()).unwrap(), -7);
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+        assert_eq!(String::from_json_value(&"hi".to_string().to_json_value()).unwrap(), "hi");
+        let v: Option<u64> = None;
+        assert_eq!(v.to_json_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_json_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn cross_type_numbers() {
+        // JSON has one number type; integer-valued floats coerce.
+        assert_eq!(u64::from_json_value(&Value::F64(3.0)).unwrap(), 3);
+        assert!(u64::from_json_value(&Value::F64(3.5)).is_err());
+        assert!(u8::from_json_value(&Value::U64(300)).is_err());
+        assert_eq!(f64::from_json_value(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers() {
+        let xs = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let v = xs.to_json_value();
+        let back: Vec<(u64, String)> = Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, xs);
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline vendor shim: `#[derive(Serialize, Deserialize)]` for the
+//! vendored serde subset, implemented without `syn`/`quote` by
+//! hand-walking the `proc_macro` token stream and emitting impl source via
+//! `format!` + `.parse()`.
+//!
+//! Supported input shapes (everything this workspace derives):
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, tuple/newtype, and struct variants (externally
+//!   tagged, like real serde: unit → `"Name"`, payload → `{"Name": ...}`);
+//! * field attributes `#[serde(skip)]` (omit on serialize, `Default` on
+//!   deserialize) and `#[serde(default)]` (missing key → `Default`).
+//!
+//! Generic parameters are intentionally unsupported (no derived type in
+//! this workspace has them) and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Consume leading `#[...]` attributes; fold any `serde(...)` flags found.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_ident(inner.first(), "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(id) = t {
+                            match id.to_string().as_str() {
+                                "skip" => skip = true,
+                                "default" => default = true,
+                                other => panic!(
+                                    "vendored serde_derive: unsupported serde attribute `{other}`"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            panic!("vendored serde_derive: malformed attribute");
+        }
+        *i += 2;
+    }
+    (skip, default)
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn take_vis(toks: &[TokenTree], i: &mut usize) {
+    if is_ident(toks.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skip tokens until a `,` at angle-bracket depth 0 (the end of a field's
+/// type), consuming the comma. Groups are atomic in the token tree, so only
+/// `<`/`>` puncts need depth tracking.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let (skip, default) = take_attrs(&toks, &mut i);
+        take_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(is_punct(toks.get(i), ':'), "vendored serde_derive: expected `:` after field name");
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+/// Count comma-separated items at angle-depth 0 inside a tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        // `skip_type` also swallows leading attrs/vis tokens — only the
+        // comma positions matter for arity.
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        } else if i < toks.len() {
+            panic!("vendored serde_derive: unsupported tokens after variant `{name}` (discriminants are not supported)");
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&toks, &mut i);
+    take_vis(&toks, &mut i);
+    let is_enum = if is_ident(toks.get(i), "struct") {
+        false
+    } else if is_ident(toks.get(i), "enum") {
+        true
+    } else {
+        panic!("vendored serde_derive: only structs and enums are supported");
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("vendored serde_derive: generic types are not supported (derived type `{name}`)");
+    }
+    let shape = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("vendored serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+/// `Vec<(String, Value)>` builder for a named-field set read from `prefix`
+/// (`&self.` for structs, bare bindings for match arms).
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __m: Vec<(String, ::serde::value::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        s.push_str(&format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_json_value(&{a})));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    s.push_str("::serde::value::Value::Map(__m) }");
+    s
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => ser_named(fields, |f| format!("self.{f}")),
+        Shape::TupleStruct(0) | Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_json_value(&self.{k})")).collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), ::serde::value::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Construct `path { ... }` from a map value expression `src` (an expression
+/// of type `&Value`).
+fn de_named(ty: &str, path: &str, src: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{n}: ::core::default::Default::default(),\n"));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: match __v.get(\"{n}\") {{ Some(__x) => ::serde::Deserialize::from_json_value(__x)?, None => ::core::default::Default::default() }},\n"
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match __v.get(\"{n}\") {{ Some(__x) => ::serde::Deserialize::from_json_value(__x)?, None => return Err(::serde::value::Error::missing_field(\"{ty}\", \"{n}\")) }},\n"
+            ));
+        }
+    }
+    format!(
+        "{{ let __v = {src};\n\
+         if __v.as_map().is_none() {{ return Err(::serde::value::Error::custom(format!(\"expected object for {ty}, found {{}}\", __v.kind()))); }}\n\
+         Ok({path} {{\n{inits}}}) }}"
+    )
+}
+
+fn de_tuple(ty: &str, path: &str, src: &str, n: usize) -> String {
+    if n == 1 {
+        return format!("Ok({path}(::serde::Deserialize::from_json_value({src})?))");
+    }
+    let items: Vec<String> =
+        (0..n).map(|k| format!("::serde::Deserialize::from_json_value(&__xs[{k}])?")).collect();
+    format!(
+        "{{ let __xs = {src}.as_seq().ok_or_else(|| ::serde::value::Error::custom(\"expected array for {ty}\"))?;\n\
+         if __xs.len() != {n} {{ return Err(::serde::value::Error::custom(\"wrong tuple arity for {ty}\")); }}\n\
+         Ok({path}({items})) }}",
+        items = items.join(", ")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => de_named(name, name, "__value", fields),
+        Shape::TupleStruct(0) | Shape::UnitStruct => format!("Ok({name} {{}})")
+            .replace("{}", if matches!(input.shape, Shape::UnitStruct) { "" } else { "()" }),
+        Shape::TupleStruct(n) => de_tuple(name, name, "__value", *n),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        // Also accept `{"Name": null}` for leniency.
+                        tag_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inner = de_tuple(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            "__inner",
+                            *n,
+                        );
+                        tag_arms.push_str(&format!("\"{vn}\" => {inner},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inner = de_named(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            "__inner",
+                            fields,
+                        );
+                        tag_arms.push_str(&format!("\"{vn}\" => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return Err(::serde::value::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n\
+                 let __m = __value.as_map().ok_or_else(|| ::serde::value::Error::custom(format!(\"expected string or object for enum {name}, found {{}}\", __value.kind())))?;\n\
+                 if __m.len() != 1 {{ return Err(::serde::value::Error::custom(\"expected single-key object for enum {name}\")); }}\n\
+                 let (__tag, __inner) = (&__m[0].0, &__m[0].1);\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n{tag_arms}\
+                 __other => Err(::serde::value::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__value: &::serde::value::Value) -> Result<Self, ::serde::value::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,474 @@
+//! Offline vendor shim for the subset of `serde_json` this workspace uses:
+//! `to_string`, `to_string_pretty`, `from_str`, the [`json!`] macro, and
+//! [`Value`] (re-exported from the vendored `serde`'s value tree).
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::value::{Error, Value};
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Deserialize `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_json_value(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // Rust's shortest-roundtrip Display; integral values render
+                // without a fraction ("3"), which is still a JSON number.
+                out.push_str(&f.to_string());
+            } else {
+                // Match serde_json: non-finite floats become null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(x, out, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(x, out, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected '{'")?;
+        let mut m = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(m));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' in object")?;
+            let v = self.value()?;
+            m.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(m));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected '['")?;
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(xs));
+        }
+        loop {
+            xs.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(xs));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1; // '\\'
+                                self.eat(b'u', "expected \\u after high surrogate")?;
+                                // hex4 advances past 'u' itself below; rewind one
+                                self.pos -= 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                s.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                            } else {
+                                s.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid \\u escape"))?,
+                                );
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Consume `u` + 4 hex digits (caller sits on the `u`).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        self.pos += 1; // 'u'
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            cp = cp * 16 + d;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+        } else if neg {
+            text.parse::<i64>().map(Value::I64).map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>().map(Value::U64).map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-ish syntax. Supports object and array
+/// literals (with arbitrary expression values), `null`, and bare
+/// serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        let mut __jm: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_entries!(__jm; $($body)*);
+        $crate::Value::Map(__jm)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munch `"key": value` pairs, where a
+/// value is a nested object/array literal, `null`, or any expression.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($m:ident;) => {};
+    ($m:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.extend([($key.to_string(), $crate::json!({ $($inner)* }))]);
+        $crate::json_object_entries!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.extend([($key.to_string(), $crate::json!([ $($inner)* ]))]);
+        $crate::json_object_entries!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.extend([($key.to_string(), $crate::Value::Null)]);
+        $crate::json_object_entries!($m; $($($rest)*)?);
+    };
+    ($m:ident; $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $m.extend([($key.to_string(), $crate::to_value(&$val))]);
+        $crate::json_object_entries!($m; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let xs = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let s = to_string(&xs).unwrap();
+        assert_eq!(s, r#"[[1,"a"],[2,"b"]]"#);
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn parses_nested_object() {
+        let v: Value = from_str(r#"{"eps":{"num":2147483648},"t_window":8}"#).unwrap();
+        assert_eq!(
+            v.get("eps").and_then(|e| e.get("num")).and_then(Value::as_u64),
+            Some(2147483648)
+        );
+        assert_eq!(v.get("t_window").and_then(Value::as_u64), Some(8));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""A\t\\\" é""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\t\\\" é"));
+        let v: Value = from_str(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn json_macro() {
+        let n = 7u64;
+        let v = json!({
+            "a": n,
+            "b": [1u64, 2u64],
+            "c": { "nested": true },
+            "d": null,
+            "e": format!("x{n}"),
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":7,"b":[1,2],"c":{"nested":true},"d":null,"e":"x7"}"#);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = json!({"a": 1u64, "b": [true]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"a\": 1"), "{s}");
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+}
