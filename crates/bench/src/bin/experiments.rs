@@ -1,20 +1,35 @@
 //! CLI for the reproduction experiments.
 //!
 //! ```text
-//! experiments list            # show all experiment ids and titles
-//! experiments e1 e6 ...       # run specific experiments (full scale)
-//! experiments all             # run everything
-//! experiments --quick all     # trimmed sweeps (smoke test)
+//! experiments list               # show all experiment ids and titles
+//! experiments e1 e6 ...          # run specific experiments (full scale)
+//! experiments all                # run everything
+//! experiments --quick all        # trimmed sweeps (smoke test)
+//! experiments --resume all       # reuse partial chunks after a kill
+//! experiments --force e3         # recompute and overwrite cached results
+//! experiments --jobs 4 all       # explicit worker parallelism
+//! experiments --log run.jsonl e1 # append a machine-readable run log
 //! ```
+//!
+//! All Monte-Carlo work routes through the `jle-orchestrator` scheduler:
+//! every work unit is fingerprinted (experiment, parameters, seed range,
+//! code salt) into a content-addressed key and looked up in the on-disk
+//! store under `--cache-dir` (default `results/.cache`) before anything
+//! simulates. A re-run of a completed experiment therefore executes zero
+//! trials and reproduces byte-identical tables; `--resume` additionally
+//! reuses partially completed units chunk-by-chunk, and `--force`
+//! recomputes everything and overwrites the store.
 //!
 //! Results are printed as markdown and written to `results/<id>.md` and
 //! `results/<id>.csv` (one CSV per table, suffixed when multiple).
 
 use jle_bench::experiments::{run_by_id, ALL_IDS};
-use jle_bench::ExperimentResult;
+use jle_bench::{ExpContext, ExperimentResult};
+use jle_orchestrator::{CachePolicy, Event, JsonlReporter, Orchestrator, StderrProgress};
 use std::fs;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn write_results(result: &ExperimentResult, dir: &Path) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
@@ -34,13 +49,130 @@ fn write_results(result: &ExperimentResult, dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [flags] <id>... | all | list\n\n\
+         flags:\n  \
+         --quick, -q        trimmed sweeps and trial counts (smoke test)\n  \
+         --cache-dir <dir>  result store root (default: results/.cache)\n  \
+         --no-cache         run everything in memory, touch no store\n  \
+         --resume           reuse partially completed units chunk-by-chunk\n  \
+         --force            recompute everything, overwrite the store\n  \
+         --jobs <n>         worker threads for trial execution\n  \
+         --log <path>       append a JSONL run log (telemetry events)\n  \
+         --no-progress      suppress the stderr progress reporter"
+    );
+    std::process::exit(2);
+}
+
+/// Parsed command line.
+struct Cli {
+    quick: bool,
+    cache_dir: String,
+    no_cache: bool,
+    resume: bool,
+    force: bool,
+    jobs: Option<usize>,
+    log: Option<String>,
+    progress: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        quick: false,
+        cache_dir: "results/.cache".into(),
+        no_cache: false,
+        resume: false,
+        force: false,
+        jobs: None,
+        log: None,
+        progress: true,
+        ids: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" | "-q" => cli.quick = true,
+            "--cache-dir" => cli.cache_dir = value("--cache-dir"),
+            "--no-cache" => cli.no_cache = true,
+            "--resume" => cli.resume = true,
+            "--force" => cli.force = true,
+            "--jobs" => {
+                let v = value("--jobs");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cli.jobs = Some(n),
+                    _ => {
+                        eprintln!("error: --jobs expects a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--log" => cli.log = Some(value("--log")),
+            "--no-progress" => cli.progress = false,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other}");
+                usage();
+            }
+            other => cli.ids.push(other.to_string()),
+        }
+    }
+    if cli.resume && cli.force {
+        eprintln!("error: --resume and --force are mutually exclusive");
+        std::process::exit(2);
+    }
+    cli
+}
+
+fn build_orchestrator(cli: &Cli) -> Orchestrator {
+    let mut orch = if cli.no_cache {
+        Orchestrator::ephemeral()
+    } else {
+        match Orchestrator::with_cache_dir(&cli.cache_dir) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open cache dir {}: {e}; running without a cache",
+                    cli.cache_dir
+                );
+                Orchestrator::ephemeral()
+            }
+        }
+    };
+    if cli.resume {
+        orch = orch.policy(CachePolicy::Resume);
+    }
+    if cli.force {
+        orch = orch.policy(CachePolicy::Force);
+    }
+    if let Some(jobs) = cli.jobs {
+        orch = orch.jobs(jobs);
+    }
+    if cli.progress {
+        orch = orch.reporter(StderrProgress::new(Duration::from_millis(250)));
+    }
+    if let Some(path) = &cli.log {
+        match JsonlReporter::append(path) {
+            Ok(r) => orch = orch.reporter(r),
+            Err(e) => eprintln!("warning: cannot open run log {path}: {e}"),
+        }
+    }
+    orch
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with('-')).cloned().collect();
+    let cli = parse_args(&args);
 
-    if ids.is_empty() || ids[0] == "list" {
-        eprintln!("usage: experiments [--quick] <id>... | all | list\n");
+    if cli.ids.is_empty() || cli.ids[0] == "list" {
+        eprintln!("usage: experiments [flags] <id>... | all | list (--help for flags)\n");
         eprintln!("available experiments:");
         for id in ALL_IDS {
             let title = match id {
@@ -72,22 +204,28 @@ fn main() {
             };
             eprintln!("  {id:<4} {title}");
         }
-        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+        std::process::exit(if cli.ids.is_empty() { 2 } else { 0 });
     }
 
-    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+    let selected: Vec<&str> = if cli.ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()
     } else {
-        ids.iter().map(String::as_str).collect()
+        cli.ids.iter().map(String::as_str).collect()
     };
+
+    let orch = Arc::new(build_orchestrator(&cli));
+    orch.announce();
+    let ctx = ExpContext::new(cli.quick, Arc::clone(&orch));
 
     let out_dir = Path::new("results");
     let mut failed = false;
     for id in selected {
         let start = Instant::now();
-        match run_by_id(id, quick) {
+        orch.emit(&Event::ExperimentStarted { id });
+        match run_by_id(id, &ctx) {
             Some(result) => {
                 let dt = start.elapsed();
+                orch.emit(&Event::ExperimentFinished { id, wall_secs: dt.as_secs_f64() });
                 println!("{}", result.to_markdown());
                 println!("_completed in {:.1}s_\n", dt.as_secs_f64());
                 if let Err(e) = write_results(&result, out_dir) {
@@ -100,6 +238,7 @@ fn main() {
             }
         }
     }
+    orch.summarize();
     if failed {
         std::process::exit(1);
     }

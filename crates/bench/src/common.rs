@@ -2,9 +2,11 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{Figure, Summary, Table};
-use jle_engine::{run_cohort, MonteCarlo, RunReport, SimConfig, UniformProtocol};
+use jle_engine::{run_cohort, RunReport, SimConfig, SlotCost, UniformProtocol};
+use jle_orchestrator::{Orchestrator, WorkSpec};
 use jle_radio::CdModel;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
 
 /// The outcome of one experiment: named tables plus free-form notes, all
 /// renderable to markdown and CSV.
@@ -77,28 +79,110 @@ pub fn saturating(eps: f64, t_window: u64) -> AdversarySpec {
     AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating)
 }
 
-/// Run `trials` cohort elections and return the per-trial slot counts
-/// (timeouts are reported as `max_slots`, plus the timeout count).
-pub fn election_slots<U, F>(
+/// Everything an experiment needs at run time: the `--quick` flag plus the
+/// orchestrator all Monte-Carlo work is submitted through. Experiments
+/// never call [`jle_engine::MonteCarlo`] directly anymore — routing
+/// through the context is what makes every sweep cacheable, resumable,
+/// and visible to telemetry.
+#[derive(Clone)]
+pub struct ExpContext {
+    /// Trim sweeps and trial counts for smoke testing.
+    pub quick: bool,
+    orch: Arc<Orchestrator>,
+}
+
+impl ExpContext {
+    /// A context submitting work through `orch`.
+    pub fn new(quick: bool, orch: Arc<Orchestrator>) -> Self {
+        ExpContext { quick, orch }
+    }
+
+    /// A context with no cache and no reporters — unit tests and doc
+    /// examples.
+    pub fn ephemeral(quick: bool) -> Self {
+        Self::new(quick, Arc::new(Orchestrator::ephemeral()))
+    }
+
+    /// The underlying orchestrator (for telemetry and stats).
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// Submit `trials` seeded trials as one cacheable work unit.
+    ///
+    /// `params` must describe everything `f`'s behaviour depends on apart
+    /// from the per-trial seed (`base_seed + index`); see
+    /// [`jle_orchestrator::WorkSpec`]. The `quick` flag is deliberately
+    /// *not* part of the key — a quick run computes a prefix of the full
+    /// run's trial range for the same unit.
+    pub fn run_trials<R, F>(
+        &self,
+        experiment: &str,
+        point: &str,
+        params: Value,
+        base_seed: u64,
+        trials: u64,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+        F: Fn(u64) -> R + Sync,
+    {
+        let spec = WorkSpec::new(experiment, point, params, base_seed);
+        self.orch.run_trials(&spec, trials, f)
+    }
+
+    /// Run `trials` cohort elections and return the per-trial slot counts
+    /// (timeouts are reported as `max_slots`, plus the timeout count).
+    ///
+    /// `proto` names the protocol and its parameters for the cache key
+    /// (the factory closure itself cannot be hashed), e.g.
+    /// `json!({"proto": "lesk", "eps": 0.5})`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn election_slots<U, F>(
+        &self,
+        experiment: &str,
+        point: &str,
+        proto: Value,
+        n: u64,
+        cd: CdModel,
+        adv: &AdversarySpec,
+        trials: u64,
+        base_seed: u64,
+        max_slots: u64,
+        factory: F,
+    ) -> (Vec<f64>, u64)
+    where
+        U: UniformProtocol,
+        F: Fn() -> U + Sync,
+    {
+        let params = election_params(proto, n, cd, adv, max_slots);
+        let reports: Vec<RunReport> =
+            self.run_trials(experiment, point, params, base_seed, trials, |seed| {
+                let config = SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
+                run_cohort(&config, adv, &factory)
+            });
+        let timeouts = reports.iter().filter(|r| r.timed_out).count() as u64;
+        (reports.iter().map(|r| r.slots as f64).collect(), timeouts)
+    }
+}
+
+/// The canonical parameter tree of a cohort-election work unit.
+pub fn election_params(
+    proto: Value,
     n: u64,
     cd: CdModel,
     adv: &AdversarySpec,
-    trials: u64,
-    base_seed: u64,
     max_slots: u64,
-    factory: F,
-) -> (Vec<f64>, u64)
-where
-    U: UniformProtocol,
-    F: Fn() -> U + Sync,
-{
-    let mc = MonteCarlo::new(trials, base_seed);
-    let reports: Vec<RunReport> = mc.run(|seed| {
-        let config = SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
-        run_cohort(&config, adv, &factory)
-    });
-    let timeouts = reports.iter().filter(|r| r.timed_out).count() as u64;
-    (reports.iter().map(|r| r.slots as f64).collect(), timeouts)
+) -> Value {
+    serde_json::json!({
+        "kind": "cohort_election",
+        "n": n,
+        "cd": cd,
+        "adv": adv.to_json_value(),
+        "max_slots": max_slots,
+        "proto": proto,
+    })
 }
 
 /// Convenience: median of a sample (panics on empty).
@@ -131,10 +215,19 @@ mod tests {
 
     #[test]
     fn election_slots_smoke() {
-        let (slots, timeouts) =
-            election_slots(64, CdModel::Strong, &AdversarySpec::passive(), 10, 1, 100_000, || {
-                LeskProtocol::new(0.5)
-            });
+        let ctx = ExpContext::ephemeral(true);
+        let (slots, timeouts) = ctx.election_slots(
+            "e0",
+            "smoke",
+            serde_json::json!({"proto": "lesk", "eps": 0.5f64}),
+            64,
+            CdModel::Strong,
+            &AdversarySpec::passive(),
+            10,
+            1,
+            100_000,
+            || LeskProtocol::new(0.5),
+        );
         assert_eq!(slots.len(), 10);
         assert_eq!(timeouts, 0);
         assert!(median(&slots) > 0.0);

@@ -5,14 +5,15 @@
 //! linear in `log₂ n`; we report medians and the least-squares fit of
 //! `median_slots ~ a + b·log₂ n`.
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, log2_fit, Figure, Series, Summary, Table};
 use jle_protocols::LeskProtocol;
 use jle_radio::CdModel;
 
 /// Run E1. `quick` trims the sweep for smoke testing.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e1",
         "LESK runtime vs n (constant eps)",
@@ -36,7 +37,11 @@ pub fn run(quick: bool) -> ExperimentResult {
     let mut jam_pts = Vec::new();
     for &k in &exps {
         let n = 1u64 << k;
-        let (clean, t0) = election_slots(
+        let proto = serde_json::json!({"proto": "lesk", "eps": eps});
+        let (clean, t0) = ctx.election_slots(
+            "e1",
+            &format!("clean/n={n}"),
+            proto.clone(),
             n,
             CdModel::Strong,
             &AdversarySpec::passive(),
@@ -45,7 +50,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             10_000_000,
             || LeskProtocol::new(eps),
         );
-        let (jam, t1) = election_slots(
+        let (jam, t1) = ctx.election_slots(
+            "e1",
+            &format!("saturating/n={n}"),
+            proto,
             n,
             CdModel::Strong,
             &saturating(eps, t_window),
@@ -110,7 +118,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

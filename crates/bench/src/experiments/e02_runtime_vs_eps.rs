@@ -17,13 +17,14 @@
 //! Both measured curves must stay below the theorem envelope; the cold
 //! curve must track the climb shape.
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_analysis::{fmt, Table};
 use jle_protocols::{math, LeskProtocol};
 use jle_radio::CdModel;
 
 /// Run E2.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e2",
         "LESK runtime vs eps (cold start and warm start)",
@@ -49,7 +50,10 @@ pub fn run(quick: bool) -> ExperimentResult {
     ]);
     let mut climb_ratios = Vec::new();
     for (idx, &eps) in eps_grid.iter().enumerate() {
-        let (slots, timeouts) = election_slots(
+        let (slots, timeouts) = ctx.election_slots(
+            "e2",
+            &format!("cold/eps={eps}"),
+            serde_json::json!({"proto": "lesk", "eps": eps}),
             n,
             CdModel::Strong,
             &saturating(eps, t_window),
@@ -85,7 +89,10 @@ pub fn run(quick: bool) -> ExperimentResult {
     ]);
     let mut inside_bracket = 0usize;
     for (idx, &eps) in eps_grid.iter().enumerate() {
-        let (slots, timeouts) = election_slots(
+        let (slots, timeouts) = ctx.election_slots(
+            "e2",
+            &format!("warm/eps={eps}"),
+            serde_json::json!({"proto": "lesk", "eps": eps, "u0": log2n}),
             n,
             CdModel::Strong,
             &saturating(eps, t_window),
@@ -141,7 +148,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert_eq!(r.notes.len(), 2);
     }

@@ -6,14 +6,15 @@
 //! can black out almost-`T`-long stretches. We drive it with the burst
 //! jammer (`on = T`, `off = T`) and the periodic-front jammer.
 
-use crate::common::{election_slots, median, ExperimentResult};
+use crate::common::{median, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, linear_fit, Figure, Series, Table};
 use jle_protocols::{math, LeskProtocol};
 use jle_radio::CdModel;
 
 /// Run E3.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e3",
         "LESK runtime vs adversary window T",
@@ -42,7 +43,11 @@ pub fn run(quick: bool) -> ExperimentResult {
         let burst =
             AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::Burst { on: t, off: t });
         let periodic = AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::PeriodicFront);
-        let (bs, b_to) = election_slots(
+        let proto = serde_json::json!({"proto": "lesk", "eps": eps});
+        let (bs, b_to) = ctx.election_slots(
+            "e3",
+            &format!("burst/T={t}"),
+            proto.clone(),
             n,
             CdModel::Strong,
             &burst,
@@ -51,7 +56,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             200_000_000,
             || LeskProtocol::new(eps),
         );
-        let (ps, p_to) = election_slots(
+        let (ps, p_to) = ctx.election_slots(
+            "e3",
+            &format!("periodic/T={t}"),
+            proto,
             n,
             CdModel::Strong,
             &periodic,
@@ -106,7 +114,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

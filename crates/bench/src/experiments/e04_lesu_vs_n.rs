@@ -15,12 +15,13 @@
 //!   time-boxed LESK(ε_j) run; this is the path the theorem's bound
 //!   prices.
 
-use crate::common::{median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_cohort_with, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort_with, SimConfig};
 use jle_protocols::{math, LeskProtocol, LesuProtocol};
 use jle_radio::CdModel;
+use serde::Serialize;
 
 struct LesuStats {
     slots: Vec<f64>,
@@ -28,9 +29,23 @@ struct LesuStats {
     sweep_slots: Vec<f64>,
 }
 
-fn lesu_runs(n: u64, adv: &AdversarySpec, trials: u64, base_seed: u64, c: f64) -> LesuStats {
-    let mc = MonteCarlo::new(trials, base_seed);
-    let rows: Vec<(f64, bool)> = mc.run(|seed| {
+fn lesu_runs(
+    ctx: &ExpContext,
+    point: &str,
+    n: u64,
+    adv: &AdversarySpec,
+    trials: u64,
+    base_seed: u64,
+    c: f64,
+) -> LesuStats {
+    let params = serde_json::json!({
+        "kind": "lesu_runs",
+        "n": n,
+        "adv": adv.to_json_value(),
+        "c": c,
+        "max_slots": 500_000_000u64,
+    });
+    let rows: Vec<(f64, bool)> = ctx.run_trials("e4", point, params, base_seed, trials, |seed| {
         let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(500_000_000);
         let (report, proto) = run_cohort_with(&config, adv, move || LesuProtocol::with_constant(c));
         assert!(report.leader_elected(), "LESU timeout at n={n}");
@@ -44,7 +59,8 @@ fn lesu_runs(n: u64, adv: &AdversarySpec, trials: u64, base_seed: u64, c: f64) -
 }
 
 /// Run E4.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e4",
         "LESU vs n with unknown eps: exit paths, theorem envelope, c ablation",
@@ -68,8 +84,19 @@ pub fn run(quick: bool) -> ExperimentResult {
         for &k in &exps {
             let n = 1u64 << k;
             let adv = saturating(eps, t_window);
-            let stats = lesu_runs(n, &adv, trials, 40_000 + (ei * 100 + k as usize) as u64, 4.0);
-            let (lesk, to1) = crate::common::election_slots(
+            let stats = lesu_runs(
+                ctx,
+                &format!("lesu/eps={eps}/n={n}"),
+                n,
+                &adv,
+                trials,
+                40_000 + (ei * 100 + k as usize) as u64,
+                4.0,
+            );
+            let (lesk, to1) = ctx.election_slots(
+                "e4",
+                &format!("lesk/eps={eps}/n={n}"),
+                serde_json::json!({"proto": "lesk", "eps": eps}),
                 n,
                 CdModel::Strong,
                 &adv,
@@ -102,7 +129,15 @@ pub fn run(quick: bool) -> ExperimentResult {
     let mut ablation = Table::new(["c", "median slots", "p90 slots", "estimation-exit fraction"]);
     let cs: Vec<f64> = if quick { vec![4.0] } else { vec![1.0, 2.0, 4.0, 8.0, 16.0] };
     for (i, &c) in cs.iter().enumerate() {
-        let stats = lesu_runs(1024, &saturating(0.125, t_window), trials, 42_000 + i as u64, c);
+        let stats = lesu_runs(
+            ctx,
+            &format!("ablation/c={c}"),
+            1024,
+            &saturating(0.125, t_window),
+            trials,
+            42_000 + i as u64,
+            c,
+        );
         let s = jle_analysis::Summary::of(&stats.slots).unwrap();
         ablation.push_row([
             c.to_string(),
@@ -133,7 +168,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert_eq!(r.notes.len(), 2);
     }

@@ -6,14 +6,15 @@
 //! this regime is the `log T → loglog T` factor; we report
 //! `slots / T` against both `loglog T` and `log T` growth curves.
 
-use crate::common::{election_slots, median, ExperimentResult};
+use crate::common::{median, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, Table};
 use jle_protocols::LesuProtocol;
 use jle_radio::CdModel;
 
 /// Run E5.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e5",
         "LESU vs large T; loglog T overhead vs the O(T log T) prior art",
@@ -34,7 +35,10 @@ pub fn run(quick: bool) -> ExperimentResult {
     for (i, &t) in t_grid.iter().enumerate() {
         let adv =
             AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::Burst { on: t, off: t });
-        let (slots, to) = election_slots(
+        let (slots, to) = ctx.election_slots(
+            "e5",
+            &format!("burst/T={t}"),
+            serde_json::json!({"proto": "lesu"}),
             n,
             CdModel::Strong,
             &adv,
@@ -75,7 +79,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

@@ -6,14 +6,18 @@
 //! lemma promises a constant-factor overhead (≤ 8× the selection bound)
 //! and exactly one leader with every station terminating.
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_exact, MonteCarlo, SimConfig, StopRule};
+use jle_engine::{run_exact, SimConfig, StopRule};
 use jle_protocols::{lewk, lewu, LeskProtocol, LesuProtocol};
 use jle_radio::CdModel;
+use serde::Serialize;
 
+#[allow(clippy::too_many_arguments)]
 fn weak_runs(
+    ctx: &ExpContext,
+    point: &str,
     n: u64,
     adv: &AdversarySpec,
     trials: u64,
@@ -21,26 +25,36 @@ fn weak_runs(
     max_slots: u64,
     lesu: bool,
 ) -> (Vec<f64>, u64, u64) {
-    let mc = MonteCarlo::new(trials, base_seed);
-    let reports = mc.run(|seed| {
-        let config = SimConfig::new(n, CdModel::Weak)
-            .with_seed(seed)
-            .with_max_slots(max_slots)
-            .with_stop(StopRule::AllTerminated);
-        if lesu {
-            run_exact(&config, adv, |_| Box::new(lewu()))
-        } else {
-            run_exact(&config, adv, |_| Box::new(lewk(0.5)))
-        }
+    let params = serde_json::json!({
+        "kind": "weak_cd_exact",
+        "n": n,
+        "adv": adv.to_json_value(),
+        "max_slots": max_slots,
+        "proto": if lesu { "lewu" } else { "lewk(0.5)" },
     });
-    let bad_leader_count =
-        reports.iter().filter(|r| !r.timed_out && r.leaders.len() != 1).count() as u64;
-    let timeouts = reports.iter().filter(|r| r.timed_out).count() as u64;
-    (reports.iter().map(|r| r.slots as f64).collect(), timeouts, bad_leader_count)
+    // Project to (slots, timed_out, leader_count) inside the closure: the
+    // exact-engine report is not cacheable wholesale, the projection is.
+    let rows: Vec<(u64, bool, u64)> =
+        ctx.run_trials("e6", point, params, base_seed, trials, |seed| {
+            let config = SimConfig::new(n, CdModel::Weak)
+                .with_seed(seed)
+                .with_max_slots(max_slots)
+                .with_stop(StopRule::AllTerminated);
+            let report = if lesu {
+                run_exact(&config, adv, |_| Box::new(lewu()))
+            } else {
+                run_exact(&config, adv, |_| Box::new(lewk(0.5)))
+            };
+            (report.slots, report.timed_out, report.leaders.len() as u64)
+        });
+    let bad_leader_count = rows.iter().filter(|r| !r.1 && r.2 != 1).count() as u64;
+    let timeouts = rows.iter().filter(|r| r.1).count() as u64;
+    (rows.iter().map(|r| r.0 as f64).collect(), timeouts, bad_leader_count)
 }
 
 /// Run E6.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e6",
         "weak-CD election via Notification: overhead and correctness",
@@ -61,9 +75,20 @@ pub fn run(quick: bool) -> ExperimentResult {
             "leaders==1",
         ]);
         for (i, &n) in ns.iter().enumerate() {
-            let (weak, timeouts, bad) =
-                weak_runs(n, &adv, trials, 60_000 + i as u64, 30_000_000, false);
-            let (strong, st) = election_slots(
+            let (weak, timeouts, bad) = weak_runs(
+                ctx,
+                &format!("lewk/{advname}/n={n}"),
+                n,
+                &adv,
+                trials,
+                60_000 + i as u64,
+                30_000_000,
+                false,
+            );
+            let (strong, st) = ctx.election_slots(
+                "e6",
+                &format!("lesk/{advname}/n={n}"),
+                serde_json::json!({"proto": "lesk", "eps": eps}),
                 n,
                 CdModel::Strong,
                 &adv,
@@ -86,11 +111,22 @@ pub fn run(quick: bool) -> ExperimentResult {
     let lns: Vec<u64> = if quick { vec![8] } else { vec![8, 16, 32] };
     for (i, &n) in lns.iter().enumerate() {
         let adv = saturating(0.4, t_window);
-        let (weak, timeouts, bad) =
-            weak_runs(n, &adv, trials.min(20), 62_000 + i as u64, 100_000_000, true);
+        let (weak, timeouts, bad) = weak_runs(
+            ctx,
+            &format!("lewu/n={n}"),
+            n,
+            &adv,
+            trials.min(20),
+            62_000 + i as u64,
+            100_000_000,
+            true,
+        );
         assert_eq!(timeouts, 0, "LEWU timeout at n={n}");
         assert_eq!(bad, 0, "LEWU leader-count violation at n={n}");
-        let (strong, st) = election_slots(
+        let (strong, st) = ctx.election_slots(
+            "e6",
+            &format!("lesu/n={n}"),
+            serde_json::json!({"proto": "lesu"}),
             n,
             CdModel::Strong,
             &adv,
@@ -117,7 +153,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 3);
         assert!(!r.notes.is_empty());
     }

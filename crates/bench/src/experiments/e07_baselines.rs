@@ -9,7 +9,7 @@
 //!   `n` (its bound is `O(log⁴ n)` vs LESK's `O(log n)`); Willard and
 //!   backoff degrade badly (time out or blow up).
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, Table};
 use jle_protocols::{ArssMacProtocol, BackoffProtocol, LeskProtocol, WillardProtocol};
@@ -17,17 +17,65 @@ use jle_radio::CdModel;
 
 const MAX_SLOTS: u64 = 3_000_000;
 
-fn row_for(n: u64, adv: &AdversarySpec, trials: u64, seed: u64) -> Vec<String> {
+fn row_for(
+    ctx: &ExpContext,
+    advname: &str,
+    n: u64,
+    adv: &AdversarySpec,
+    trials: u64,
+    seed: u64,
+) -> Vec<String> {
     let t_window = adv.t_window;
-    let lesk =
-        election_slots(n, CdModel::Strong, adv, trials, seed, MAX_SLOTS, || LeskProtocol::new(0.3));
-    let arss = election_slots(n, CdModel::Strong, adv, trials, seed + 1, MAX_SLOTS, || {
-        ArssMacProtocol::new(ArssMacProtocol::recommended_gamma(n, t_window))
-    });
-    let backoff =
-        election_slots(n, CdModel::Strong, adv, trials, seed + 2, MAX_SLOTS, BackoffProtocol::new);
-    let willard =
-        election_slots(n, CdModel::Strong, adv, trials, seed + 3, MAX_SLOTS, WillardProtocol::new);
+    let gamma = ArssMacProtocol::recommended_gamma(n, t_window);
+    let pt = |proto: &str| format!("{proto}/{advname}/n={n}");
+    let lesk = ctx.election_slots(
+        "e7",
+        &pt("lesk"),
+        serde_json::json!({"proto": "lesk", "eps": 0.3f64}),
+        n,
+        CdModel::Strong,
+        adv,
+        trials,
+        seed,
+        MAX_SLOTS,
+        || LeskProtocol::new(0.3),
+    );
+    let arss = ctx.election_slots(
+        "e7",
+        &pt("arss"),
+        serde_json::json!({"proto": "arss", "gamma": gamma}),
+        n,
+        CdModel::Strong,
+        adv,
+        trials,
+        seed + 1,
+        MAX_SLOTS,
+        || ArssMacProtocol::new(gamma),
+    );
+    let backoff = ctx.election_slots(
+        "e7",
+        &pt("backoff"),
+        serde_json::json!({"proto": "backoff"}),
+        n,
+        CdModel::Strong,
+        adv,
+        trials,
+        seed + 2,
+        MAX_SLOTS,
+        BackoffProtocol::new,
+    );
+    let willard = ctx.election_slots(
+        "e7",
+        &pt("willard"),
+        serde_json::json!({"proto": "willard"}),
+        n,
+        CdModel::Strong,
+        adv,
+        trials,
+        seed + 3,
+        MAX_SLOTS,
+        WillardProtocol::new,
+    );
     let cell = |(slots, timeouts): (Vec<f64>, u64)| {
         if timeouts * 2 >= trials {
             format!("timeout ({}/{} trials)", timeouts, trials)
@@ -39,7 +87,8 @@ fn row_for(n: u64, adv: &AdversarySpec, trials: u64, seed: u64) -> Vec<String> {
 }
 
 /// Run E7.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e7",
         "LESK vs ARSS'14 vs backoff vs Willard across adversaries",
@@ -55,7 +104,14 @@ pub fn run(quick: bool) -> ExperimentResult {
     for (ai, (name, adv)) in adversaries.iter().enumerate() {
         let mut table = Table::new(["n", "LESK", "ARSS-MAC", "backoff", "Willard"]);
         for (i, &n) in ns.iter().enumerate() {
-            table.push_row(row_for(n, adv, trials, 70_000 + (ai * 1000 + i * 10) as u64));
+            table.push_row(row_for(
+                ctx,
+                name,
+                n,
+                adv,
+                trials,
+                70_000 + (ai * 1000 + i * 10) as u64,
+            ));
         }
         result.add_table(&format!("median slots ({name})"), table);
     }
@@ -68,7 +124,11 @@ pub fn run(quick: bool) -> ExperimentResult {
             t_window,
             JamStrategyKind::AdaptiveEstimator { n, protocol_eps: eps, band: 3.0, initial_u: 0.0 },
         );
-        let (a, at) = election_slots(
+        let proto = serde_json::json!({"proto": "lesk", "eps": eps});
+        let (a, at) = ctx.election_slots(
+            "e7",
+            &format!("lesk/adaptive/n={n}"),
+            proto.clone(),
             n,
             CdModel::Strong,
             &adaptive_spec,
@@ -77,7 +137,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             MAX_SLOTS,
             || LeskProtocol::new(eps),
         );
-        let (s, st) = election_slots(
+        let (s, st) = ctx.election_slots(
+            "e7",
+            &format!("lesk/saturating2/n={n}"),
+            proto,
             n,
             CdModel::Strong,
             &saturating(eps, t_window),
@@ -103,7 +166,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 3);
         assert!(!r.notes.is_empty());
     }

@@ -8,14 +8,15 @@
 //! within a constant factor of it — i.e. LESK is optimal there
 //! (Theorem 2.6 + Lemma 2.7).
 
-use crate::common::{election_slots, median, ExperimentResult};
+use crate::common::{median, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, Table};
 use jle_protocols::{math, LeskProtocol};
 use jle_radio::CdModel;
 
 /// Run E8.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e8",
         "lower-bound adversary vs LESK: optimality for constant eps",
@@ -32,7 +33,10 @@ pub fn run(quick: bool) -> ExperimentResult {
         let eps = 0.5;
         let t = 64u64;
         let adv = AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::PeriodicFront);
-        let (slots, to) = election_slots(
+        let (slots, to) = ctx.election_slots(
+            "e8",
+            &format!("sweep-n/n={n}"),
+            serde_json::json!({"proto": "lesk", "eps": eps}),
             n,
             CdModel::Strong,
             &adv,
@@ -56,7 +60,10 @@ pub fn run(quick: bool) -> ExperimentResult {
         let n = 1024u64;
         let t = 64u64;
         let adv = AdversarySpec::new(Rate::from_f64(eps), t, JamStrategyKind::PeriodicFront);
-        let (slots, to) = election_slots(
+        let (slots, to) = ctx.election_slots(
+            "e8",
+            &format!("sweep-eps/eps={eps}"),
+            serde_json::json!({"proto": "lesk", "eps": eps}),
             n,
             CdModel::Strong,
             &adv,
@@ -87,7 +94,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

@@ -7,17 +7,19 @@
 //! comfortable and report the full failure matrix; the tight budgets
 //! show a genuinely decaying curve, the comfortable ones sit at zero.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_analysis::{Figure, Series, Table};
-use jle_engine::{run_cohort, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort, SimConfig};
 use jle_protocols::{math, LeskProtocol};
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Budget multipliers swept (times the Theorem 2.6 shape).
 pub const BUDGET_KS: [f64; 4] = [2.0, 2.5, 3.0, 5.0];
 
 /// Run E9.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e9",
         "failure probability vs n across time budgets",
@@ -45,13 +47,29 @@ pub fn run(quick: bool) -> ExperimentResult {
         let mut cells = vec![n.to_string(), jle_analysis::fmt(shape)];
         for (ki, &k) in BUDGET_KS.iter().enumerate() {
             let budget = (k * shape).ceil() as u64;
-            let mc = MonteCarlo::new(trials, 90_000 + i as u64 * 17 + ki as u64 * 7919);
-            let failures: u64 = mc
-                .run(|seed| {
-                    let config =
-                        SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(budget);
-                    run_cohort(&config, &adv, || LeskProtocol::new(eps)).timed_out as u64
-                })
+            let params = serde_json::json!({
+                "kind": "whp_failure",
+                "n": n,
+                "eps": eps,
+                "t": t_window,
+                "budget": budget,
+                "adv": adv.to_json_value(),
+                "proto": "lesk",
+            });
+            let failures: u64 = ctx
+                .run_trials(
+                    "e9",
+                    &format!("n={n}/K={k}"),
+                    params,
+                    90_000 + i as u64 * 17 + ki as u64 * 7919,
+                    trials,
+                    |seed| {
+                        let config = SimConfig::new(n, CdModel::Strong)
+                            .with_seed(seed)
+                            .with_max_slots(budget);
+                        run_cohort(&config, &adv, || LeskProtocol::new(eps)).timed_out as u64
+                    },
+                )
                 .into_iter()
                 .sum();
             let rate = failures as f64 / trials as f64;
@@ -100,7 +118,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

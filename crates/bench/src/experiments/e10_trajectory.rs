@@ -8,12 +8,13 @@
 //! upward inside the band but cannot expel it — that is the mechanism
 //! behind Theorem 2.6.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Figure, Series, Table};
-use jle_engine::{run_cohort, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort, SimConfig};
 use jle_protocols::LeskProtocol;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// The paper's regular band for estimate `u` given `n` and `eps`.
 pub fn regular_band(n: u64, eps: f64) -> (f64, f64) {
@@ -23,7 +24,8 @@ pub fn regular_band(n: u64, eps: f64) -> (f64, f64) {
 }
 
 /// Run E10.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e10",
         "estimate trajectory: u walks into and stays in the regular band",
@@ -46,29 +48,43 @@ pub fn run(quick: bool) -> ExperimentResult {
         let (lo, hi) = regular_band(n, eps);
         for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 32))]
         {
-            let mc = MonteCarlo::new(trials, 100_000 + n);
-            let rows: Vec<(f64, f64, f64)> = mc.run(|seed| {
-                let config = SimConfig::new(n, CdModel::Strong)
-                    .with_seed(seed)
-                    .with_max_slots(10_000_000)
-                    .with_trace(true);
-                let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
-                assert!(r.leader_elected());
-                let tr = r.trace.unwrap();
-                let hit = tr
-                    .estimates
-                    .iter()
-                    .position(|&u| u >= lo && u <= hi)
-                    .unwrap_or(tr.estimates.len());
-                let after = &tr.estimates[hit..];
-                let in_band = if after.is_empty() {
-                    0.0
-                } else {
-                    after.iter().filter(|&&u| u >= lo && u <= hi).count() as f64
-                        / after.len() as f64
-                };
-                (hit as f64, in_band, *tr.estimates.last().unwrap())
+            let params = serde_json::json!({
+                "kind": "trajectory",
+                "n": n,
+                "eps": eps,
+                "adv": adv.to_json_value(),
+                "band": [lo, hi],
+                "max_slots": 10_000_000u64,
             });
+            let rows: Vec<(f64, f64, f64)> = ctx.run_trials(
+                "e10",
+                &format!("{name}/n={n}"),
+                params,
+                100_000 + n,
+                trials,
+                |seed| {
+                    let config = SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(10_000_000)
+                        .with_trace(true);
+                    let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
+                    assert!(r.leader_elected());
+                    let tr = r.trace.unwrap();
+                    let hit = tr
+                        .estimates
+                        .iter()
+                        .position(|&u| u >= lo && u <= hi)
+                        .unwrap_or(tr.estimates.len());
+                    let after = &tr.estimates[hit..];
+                    let in_band = if after.is_empty() {
+                        0.0
+                    } else {
+                        after.iter().filter(|&&u| u >= lo && u <= hi).count() as f64
+                            / after.len() as f64
+                    };
+                    (hit as f64, in_band, *tr.estimates.last().unwrap())
+                },
+            );
             let hits: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let fracs: Vec<f64> = rows.iter().map(|r| r.1).collect();
             let finals: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -112,7 +128,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

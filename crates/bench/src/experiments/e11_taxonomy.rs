@@ -9,14 +9,16 @@
 //! * regular slots dominate once the adversary's share is removed —
 //!   the engine of Theorem 2.6's proof.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_cohort, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort, SimConfig};
 use jle_protocols::{LeskProtocol, SlotTaxonomy};
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Run E11.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e11",
         "slot taxonomy: IS/IC/CS/CC/E/R counts vs the counting lemmas",
@@ -30,16 +32,29 @@ pub fn run(quick: bool) -> ExperimentResult {
         let mut table =
             Table::new(["counter", "mean count", "bound", "mean/bound", "violations (of trials)"]);
         let adv = saturating(eps, 32);
-        let mc = MonteCarlo::new(trials, 110_000 + (eps * 1000.0) as u64);
-        let taxes: Vec<(SlotTaxonomy, u64)> = mc.run(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong)
-                .with_seed(seed)
-                .with_max_slots(10_000_000)
-                .with_trace(true);
-            let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
-            assert!(r.leader_elected());
-            (SlotTaxonomy::from_trace(r.trace.as_ref().unwrap(), n, eps), r.slots)
+        let params = serde_json::json!({
+            "kind": "taxonomy",
+            "n": n,
+            "eps": eps,
+            "adv": adv.to_json_value(),
+            "max_slots": 10_000_000u64,
         });
+        let taxes: Vec<(SlotTaxonomy, u64)> = ctx.run_trials(
+            "e11",
+            &format!("eps={eps}"),
+            params,
+            110_000 + (eps * 1000.0) as u64,
+            trials,
+            |seed| {
+                let config = SimConfig::new(n, CdModel::Strong)
+                    .with_seed(seed)
+                    .with_max_slots(10_000_000)
+                    .with_trace(true);
+                let r = run_cohort(&config, &adv, || LeskProtocol::new(eps));
+                assert!(r.leader_elected());
+                (SlotTaxonomy::from_trace(r.trace.as_ref().unwrap(), n, eps), r.slots)
+            },
+        );
         let tn = taxes.len() as f64;
         let mean = |f: &dyn Fn(&(SlotTaxonomy, u64)) -> f64| taxes.iter().map(f).sum::<f64>() / tn;
 
@@ -122,7 +137,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

@@ -4,14 +4,16 @@
 //! `log log n − 1 ≤ i ≤ max{log log n, log T} + 1` with probability
 //! ≥ 1 − 2/n² (or the run ends in a `Single`, which also counts).
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_analysis::Table;
-use jle_engine::{run_cohort_with, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort_with, SimConfig};
 use jle_protocols::EstimationProtocol;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Run E12.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e12",
         "Estimation(2): returned round vs the Lemma 2.8 window",
@@ -32,13 +34,27 @@ pub fn run(quick: bool) -> ExperimentResult {
             let loglog = (n as f64).log2().log2();
             let lo = loglog.floor() - 1.0;
             let hi = loglog.max((t as f64).log2()).ceil() + 1.0;
-            let mc = MonteCarlo::new(trials, 120_000 + (k as u64) * 31 + t);
-            let outcomes: Vec<(Option<u32>, bool)> = mc.run(|seed| {
-                let config =
-                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(50_000_000);
-                let (report, proto) = run_cohort_with(&config, &adv, EstimationProtocol::paper);
-                (proto.result(), report.resolved_at.is_some())
+            let params = serde_json::json!({
+                "kind": "estimation_window",
+                "n": n,
+                "t": t,
+                "adv": adv.to_json_value(),
+                "max_slots": 50_000_000u64,
             });
+            let outcomes: Vec<(Option<u32>, bool)> = ctx.run_trials(
+                "e12",
+                &format!("n={n}/T={t}"),
+                params,
+                120_000 + (k as u64) * 31 + t,
+                trials,
+                |seed| {
+                    let config = SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(50_000_000);
+                    let (report, proto) = run_cohort_with(&config, &adv, EstimationProtocol::paper);
+                    (proto.result(), report.resolved_at.is_some())
+                },
+            );
             let singles = outcomes.iter().filter(|o| o.1).count();
             let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.0).map(|r| r as f64).collect();
             let in_window = outcomes
@@ -76,7 +92,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

@@ -6,14 +6,16 @@
 //! the Theorem 2.6 envelope. Expected ordering: protocol-aware adaptive ≥
 //! oblivious saturating ≥ shaped oblivious ≥ random ≥ none.
 
-use crate::common::{median, ExperimentResult};
+use crate::common::{median, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, Table};
 use jle_protocols::{math, LeskProtocol};
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Run E14.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e14",
         "adversary ablation: where should a (T,1-eps) jammer spend its budget?",
@@ -61,22 +63,35 @@ pub fn run(quick: bool) -> ExperimentResult {
         let envelope = 100.0 * math::lesk_runtime_shape(n, eps, t);
         for (i, (name, kind)) in strategies.iter().enumerate() {
             let spec = AdversarySpec::new(rate, t, kind.clone());
-            let mc =
-                jle_engine::MonteCarlo::new(trials, 140_000 + i as u64 * 7 + warm as u64 * 999);
-            let reports: Vec<(f64, f64)> = mc.run(|seed| {
-                let config = jle_engine::SimConfig::new(n, CdModel::Strong)
-                    .with_seed(seed)
-                    .with_max_slots(100_000_000);
-                let r = jle_engine::run_cohort(&config, &spec, || {
-                    if warm {
-                        LeskProtocol::with_initial_estimate(eps, log2n)
-                    } else {
-                        LeskProtocol::new(eps)
-                    }
-                });
-                assert!(r.leader_elected(), "LESK must elect under {name}");
-                (r.slots as f64, r.jam_fraction())
+            let params = serde_json::json!({
+                "kind": "adversary_ablation",
+                "n": n,
+                "eps": eps,
+                "adv": spec.to_json_value(),
+                "warm": warm,
+                "max_slots": 100_000_000u64,
             });
+            let reports: Vec<(f64, f64)> = ctx.run_trials(
+                "e14",
+                &format!("{}/{name}", if warm { "warm" } else { "cold" }),
+                params,
+                140_000 + i as u64 * 7 + warm as u64 * 999,
+                trials,
+                |seed| {
+                    let config = jle_engine::SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(100_000_000);
+                    let r = jle_engine::run_cohort(&config, &spec, || {
+                        if warm {
+                            LeskProtocol::with_initial_estimate(eps, log2n)
+                        } else {
+                            LeskProtocol::new(eps)
+                        }
+                    });
+                    assert!(r.leader_elected(), "LESK must elect under {name}");
+                    (r.slots as f64, r.jam_fraction())
+                },
+            );
             let slots: Vec<f64> = reports.iter().map(|r| r.0).collect();
             let fracs: Vec<f64> = reports.iter().map(|r| r.1).collect();
             let med = median(&slots);
@@ -119,7 +134,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

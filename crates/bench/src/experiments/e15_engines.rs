@@ -7,15 +7,17 @@
 //! (different RNG pathways, so the comparison is statistical), and (b)
 //! measure slots/second of both engines across `n`.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_analysis::{fmt, Summary, Table};
-use jle_engine::{run_cohort, run_exact, MonteCarlo, PerStation, SimConfig};
+use jle_engine::{run_cohort, run_exact, PerStation, SimConfig};
 use jle_protocols::LeskProtocol;
 use jle_radio::CdModel;
+use serde::Serialize;
 use std::time::Instant;
 
 /// Run E15.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e15",
         "cohort vs exact engine: agreement and throughput",
@@ -29,19 +31,46 @@ pub fn run(quick: bool) -> ExperimentResult {
     let ns: Vec<u64> = if quick { vec![16] } else { vec![4, 16, 64, 256] };
     for (i, &n) in ns.iter().enumerate() {
         let adv = saturating(eps, 16);
-        let mc = MonteCarlo::new(trials, 150_000 + i as u64);
-        let cohort: Vec<f64> = mc.run(|seed| {
-            let config =
-                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
-            run_cohort(&config, &adv, || LeskProtocol::new(eps)).slots as f64
+        let params = serde_json::json!({
+            "n": n,
+            "eps": eps,
+            "adv": adv.to_json_value(),
+            "max_slots": 10_000_000u64,
         });
-        let exact: Vec<f64> = mc.run(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong)
-                .with_seed(seed ^ 0xABCD)
-                .with_max_slots(10_000_000);
-            run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(eps)))).slots
-                as f64
-        });
+        let mut cohort_params = params.clone();
+        if let serde::Value::Map(m) = &mut cohort_params {
+            m.push(("kind".to_string(), serde::Value::Str("engine_cohort".into())));
+        }
+        let cohort: Vec<f64> = ctx.run_trials(
+            "e15",
+            &format!("cohort/n={n}"),
+            cohort_params,
+            150_000 + i as u64,
+            trials,
+            |seed| {
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(10_000_000);
+                run_cohort(&config, &adv, || LeskProtocol::new(eps)).slots as f64
+            },
+        );
+        let mut exact_params = params;
+        if let serde::Value::Map(m) = &mut exact_params {
+            m.push(("kind".to_string(), serde::Value::Str("engine_exact".into())));
+        }
+        let exact: Vec<f64> = ctx.run_trials(
+            "e15",
+            &format!("exact/n={n}"),
+            exact_params,
+            150_000 + i as u64,
+            trials,
+            |seed| {
+                let config = SimConfig::new(n, CdModel::Strong)
+                    .with_seed(seed ^ 0xABCD)
+                    .with_max_slots(10_000_000);
+                run_exact(&config, &adv, |_| Box::new(PerStation::new(LeskProtocol::new(eps))))
+                    .slots as f64
+            },
+        );
         let (sc, se) = (Summary::of(&cohort).unwrap(), Summary::of(&exact).unwrap());
         agree.push_row([
             n.to_string(),
@@ -108,7 +137,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

@@ -6,16 +6,18 @@
 //! slots (the estimate is already calibrated), and the whole thing
 //! survives the saturating jammer.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
-use jle_engine::{MonteCarlo, SimConfig};
+use jle_engine::SimConfig;
 use jle_protocols::run_k_selection;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 #[allow(clippy::type_complexity)] // inline row-projection closures read better than aliases
 /// Run E16.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e16",
         "k-selection: marginal cost of additional leaders",
@@ -40,21 +42,36 @@ pub fn run(quick: bool) -> ExperimentResult {
                 if k >= n {
                     continue;
                 }
-                let mc = MonteCarlo::new(trials, 160_000 + n + k);
-                let rows: Vec<(f64, f64, f64, bool)> = mc.run(|seed| {
-                    let config = SimConfig::new(n, CdModel::Strong)
-                        .with_seed(seed)
-                        .with_max_slots(5_000_000);
-                    let r = run_k_selection(&config, &adv, k, eps);
-                    let gaps = r.gaps();
-                    let first = gaps.first().copied().unwrap_or(0) as f64;
-                    let rest = if gaps.len() > 1 {
-                        gaps[1..].iter().map(|&g| g as f64).sum::<f64>() / (gaps.len() - 1) as f64
-                    } else {
-                        0.0
-                    };
-                    (first, rest, r.slots as f64, r.completed)
+                let params = serde_json::json!({
+                    "kind": "k_selection",
+                    "n": n,
+                    "k": k,
+                    "eps": eps,
+                    "adv": adv.to_json_value(),
+                    "max_slots": 5_000_000u64,
                 });
+                let rows: Vec<(f64, f64, f64, bool)> = ctx.run_trials(
+                    "e16",
+                    &format!("{name}/n={n}/k={k}"),
+                    params,
+                    160_000 + n + k,
+                    trials,
+                    |seed| {
+                        let config = SimConfig::new(n, CdModel::Strong)
+                            .with_seed(seed)
+                            .with_max_slots(5_000_000);
+                        let r = run_k_selection(&config, &adv, k, eps);
+                        let gaps = r.gaps();
+                        let first = gaps.first().copied().unwrap_or(0) as f64;
+                        let rest = if gaps.len() > 1 {
+                            gaps[1..].iter().map(|&g| g as f64).sum::<f64>()
+                                / (gaps.len() - 1) as f64
+                        } else {
+                            0.0
+                        };
+                        (first, rest, r.slots as f64, r.completed)
+                    },
+                );
                 let med = |f: &dyn Fn(&(f64, f64, f64, bool)) -> f64| {
                     let mut v: Vec<f64> = rows.iter().map(f).collect();
                     v.sort_by(f64::total_cmp);
@@ -88,7 +105,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

@@ -5,15 +5,17 @@
 //! within `[n/(2 ln a), 2√a·n]` regardless of the adversary; jamming may
 //! bias the estimate upward (jams read as busy) but never out of band.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_cohort_with, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort_with, SimConfig};
 use jle_protocols::SizeApproxProtocol;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Run E17.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e17",
         "size approximation: 2^u-bar vs true n across adversaries",
@@ -39,16 +41,29 @@ pub fn run(quick: bool) -> ExperimentResult {
         let hi = 2.0 * a.sqrt() * n as f64;
         for (name, adv) in [("none", AdversarySpec::passive()), ("saturating", saturating(eps, 16))]
         {
-            let mc = MonteCarlo::new(trials, 170_000 + k as u64 * 37);
-            let ests = mc.collect_f64(|seed| {
-                let config = SimConfig::new(n, CdModel::Strong)
-                    .with_seed(seed)
-                    .with_max_slots(horizon + 10)
-                    .with_continue_past_singles(true);
-                let (_, proto) =
-                    run_cohort_with(&config, &adv, || SizeApproxProtocol::new(eps, horizon));
-                proto.estimate_n()
+            let params = serde_json::json!({
+                "kind": "size_approx",
+                "n": n,
+                "eps": eps,
+                "horizon": horizon,
+                "adv": adv.to_json_value(),
             });
+            let ests: Vec<f64> = ctx.run_trials(
+                "e17",
+                &format!("{name}/n={n}"),
+                params,
+                170_000 + k as u64 * 37,
+                trials,
+                |seed| {
+                    let config = SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(horizon + 10)
+                        .with_continue_past_singles(true);
+                    let (_, proto) =
+                        run_cohort_with(&config, &adv, || SizeApproxProtocol::new(eps, horizon));
+                    proto.estimate_n()
+                },
+            );
             let in_band =
                 ests.iter().filter(|&&e| e >= lo && e <= hi).count() as f64 / trials as f64;
             let med = jle_analysis::percentile(&ests, 0.5);
@@ -76,7 +91,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

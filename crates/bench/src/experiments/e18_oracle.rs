@@ -8,15 +8,17 @@
 //! oracle blocks elections essentially forever — no protocol could do
 //! better, since the oracle only ever spends budget on actual `Single`s.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::Rate;
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_cohort, run_cohort_against_oracle, MonteCarlo, SimConfig};
+use jle_engine::{run_cohort, run_cohort_against_oracle, SimConfig};
 use jle_protocols::LeskProtocol;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 /// Run E18.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e18",
         "negative control: action-observing (oracle) jammer vs the fair model",
@@ -36,20 +38,47 @@ pub fn run(quick: bool) -> ExperimentResult {
     ]);
     for (i, &eps) in eps_grid.iter().enumerate() {
         let t = 32u64;
-        let mc = MonteCarlo::new(trials, 180_000 + i as u64 * 11);
-        let fair: Vec<(bool, f64)> = mc.run(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(cap);
-            let r = run_cohort(&config, &saturating(eps, t), || LeskProtocol::new(eps));
-            (r.leader_elected(), r.slots as f64)
-        });
-        let oracle: Vec<(bool, f64)> = mc.run(|seed| {
-            let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(cap);
-            let r = run_cohort_against_oracle(&config, Rate::from_f64(eps), t, || {
-                LeskProtocol::new(eps)
-            });
-            // Every jam of the oracle is a suppressed Single.
-            (r.leader_elected(), r.counts.jammed as f64)
-        });
+        let seed0 = 180_000 + i as u64 * 11;
+        let fair: Vec<(bool, f64)> = ctx.run_trials(
+            "e18",
+            &format!("fair/eps={eps}"),
+            serde_json::json!({
+                "kind": "oracle_control_fair",
+                "n": n,
+                "eps": eps,
+                "t": t,
+                "adv": saturating(eps, t).to_json_value(),
+                "max_slots": cap,
+            }),
+            seed0,
+            trials,
+            |seed| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(cap);
+                let r = run_cohort(&config, &saturating(eps, t), || LeskProtocol::new(eps));
+                (r.leader_elected(), r.slots as f64)
+            },
+        );
+        let oracle: Vec<(bool, f64)> = ctx.run_trials(
+            "e18",
+            &format!("oracle/eps={eps}"),
+            serde_json::json!({
+                "kind": "oracle_control_oracle",
+                "n": n,
+                "eps": eps,
+                "t": t,
+                "max_slots": cap,
+            }),
+            seed0,
+            trials,
+            |seed| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(cap);
+                let r = run_cohort_against_oracle(&config, Rate::from_f64(eps), t, || {
+                    LeskProtocol::new(eps)
+                });
+                // Every jam of the oracle is a suppressed Single.
+                (r.leader_elected(), r.counts.jammed as f64)
+            },
+        );
         let rate = |v: &[(bool, f64)]| v.iter().filter(|x| x.0).count() as f64 / v.len() as f64;
         let med = |v: &[(bool, f64)]| {
             let mut xs: Vec<f64> = v.iter().map(|x| x.1).collect();
@@ -79,7 +108,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

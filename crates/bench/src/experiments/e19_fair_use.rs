@@ -11,16 +11,18 @@
 //!   schedule is the vulnerability, echoing why the reactive-jamming
 //!   fairness literature (Richa et al., §1.3 ref [24]) is nontrivial.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fairness, fmt, Table};
-use jle_engine::{MonteCarlo, SimConfig};
+use jle_engine::SimConfig;
 use jle_protocols::{run_fair_use, targeted_tdma_jammer};
 use jle_radio::CdModel;
+use serde::Serialize;
 
 #[allow(clippy::type_complexity)] // inline row-projection closures read better than aliases
 /// Run E19.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e19",
         "fair use via rank TDMA: throughput vs fairness across adversaries",
@@ -46,23 +48,37 @@ pub fn run(quick: bool) -> ExperimentResult {
         "median others",
     ]);
     for (i, (name, adv)) in advs.iter().enumerate() {
-        let mc = MonteCarlo::new(trials, 190_000 + i as u64 * 13);
-        let rows: Vec<(f64, f64, f64, f64, f64)> = mc.run(|seed| {
-            let config =
-                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(2_000_000);
-            let r = run_fair_use(&config, adv, rounds, eps);
-            assert!(r.setup_completed, "rank assignment must finish");
-            let d = r.deliveries_f64();
-            let mut others: Vec<f64> = d[1..].to_vec();
-            others.sort_by(f64::total_cmp);
-            (
-                r.throughput(),
-                fairness::jain_index(&d),
-                fairness::min_share(&d),
-                d[0],
-                others[others.len() / 2],
-            )
+        let params = serde_json::json!({
+            "kind": "fair_use",
+            "n": n,
+            "eps": eps,
+            "rounds": rounds,
+            "adv": adv.to_json_value(),
+            "max_slots": 2_000_000u64,
         });
+        let rows: Vec<(f64, f64, f64, f64, f64)> = ctx.run_trials(
+            "e19",
+            &format!("adv={name}"),
+            params,
+            190_000 + i as u64 * 13,
+            trials,
+            |seed| {
+                let config =
+                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(2_000_000);
+                let r = run_fair_use(&config, adv, rounds, eps);
+                assert!(r.setup_completed, "rank assignment must finish");
+                let d = r.deliveries_f64();
+                let mut others: Vec<f64> = d[1..].to_vec();
+                others.sort_by(f64::total_cmp);
+                (
+                    r.throughput(),
+                    fairness::jain_index(&d),
+                    fairness::min_share(&d),
+                    d[0],
+                    others[others.len() / 2],
+                )
+            },
+        );
         let med = |f: &dyn Fn(&(f64, f64, f64, f64, f64)) -> f64| {
             let mut v: Vec<f64> = rows.iter().map(f).collect();
             v.sort_by(f64::total_cmp);
@@ -93,7 +109,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 1);
         assert!(!r.notes.is_empty());
     }

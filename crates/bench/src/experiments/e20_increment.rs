@@ -13,14 +13,15 @@
 //!
 //! Measured at both cold and warm start, with and without jamming.
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
 use jle_protocols::LeskProtocol;
 use jle_radio::CdModel;
 
 /// Run E20.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e20",
         "ablation: the epsilon/8 increment (a = 8/eps)",
@@ -49,7 +50,16 @@ pub fn run(quick: bool) -> ExperimentResult {
                     p
                 }
             };
-            let (clean, t0) = election_slots(
+            let proto = serde_json::json!({
+                "proto": "lesk",
+                "eps": eps,
+                "divisor": d,
+                "u0": if warm { log2n } else { 0.0 },
+            });
+            let (clean, t0) = ctx.election_slots(
+                "e20",
+                &format!("clean/{regime}/d={d}"),
+                proto.clone(),
                 n,
                 CdModel::Strong,
                 &AdversarySpec::passive(),
@@ -58,7 +68,10 @@ pub fn run(quick: bool) -> ExperimentResult {
                 2_000_000,
                 mk,
             );
-            let (jam, t1) = election_slots(
+            let (jam, t1) = ctx.election_slots(
+                "e20",
+                &format!("saturating/{regime}/d={d}"),
+                proto,
                 n,
                 CdModel::Strong,
                 &saturating(eps, 32),
@@ -90,7 +103,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

@@ -20,14 +20,15 @@
 //!    the *same* budget keeps its `O(log n)` (with CD, the budget has to
 //!    fight the self-correction, not a schedule).
 
-use crate::common::{election_slots, median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{fmt, Table};
 use jle_protocols::{BackoffProtocol, LeskProtocol};
 use jle_radio::CdModel;
 
 /// Run E21.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e21",
         "the no-CD open problem: what collision detection buys",
@@ -54,17 +55,44 @@ pub fn run(quick: bool) -> ExperimentResult {
     for (name, cd) in
         [("strong-CD", CdModel::Strong), ("weak-CD", CdModel::Weak), ("no-CD", CdModel::NoCd)]
     {
-        let (cold, _) = election_slots(n, cd, &saturating(eps, 8), trials, 211_000, cap, || {
-            LeskProtocol::new(eps)
-        });
-        let (rec_clean, rt0) =
-            election_slots(n, cd, &AdversarySpec::passive(), trials, 212_000, cap, move || {
-                LeskProtocol::with_initial_estimate(eps, u_start)
-            });
-        let (rec_jam, rt1) =
-            election_slots(n, cd, &saturating(eps, 8), trials, 212_500, cap, move || {
-                LeskProtocol::with_initial_estimate(eps, u_start)
-            });
+        let cold_proto = serde_json::json!({"proto": "lesk", "eps": eps});
+        let rec_proto = serde_json::json!({"proto": "lesk", "eps": eps, "u0": u_start});
+        let (cold, _) = ctx.election_slots(
+            "e21",
+            &format!("cold/{name}"),
+            cold_proto,
+            n,
+            cd,
+            &saturating(eps, 8),
+            trials,
+            211_000,
+            cap,
+            || LeskProtocol::new(eps),
+        );
+        let (rec_clean, rt0) = ctx.election_slots(
+            "e21",
+            &format!("recovery-clean/{name}"),
+            rec_proto.clone(),
+            n,
+            cd,
+            &AdversarySpec::passive(),
+            trials,
+            212_000,
+            cap,
+            move || LeskProtocol::with_initial_estimate(eps, u_start),
+        );
+        let (rec_jam, rt1) = ctx.election_slots(
+            "e21",
+            &format!("recovery-jam/{name}"),
+            rec_proto,
+            n,
+            cd,
+            &saturating(eps, 8),
+            trials,
+            212_500,
+            cap,
+            move || LeskProtocol::with_initial_estimate(eps, u_start),
+        );
         let cell = |xs: &Vec<f64>, to: u64| {
             if to * 2 >= trials {
                 format!("timeout ({to}/{trials})")
@@ -103,7 +131,11 @@ pub fn run(quick: bool) -> ExperimentResult {
             8,
             JamStrategyKind::SweepTargeted { n, band: 3.0 },
         );
-        let (clean, c0) = election_slots(
+        let backoff_proto = serde_json::json!({"proto": "backoff"});
+        let (clean, c0) = ctx.election_slots(
+            "e21",
+            &format!("backoff-clean/n={n}"),
+            backoff_proto.clone(),
             n,
             CdModel::NoCd,
             &AdversarySpec::passive(),
@@ -112,7 +144,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             cap,
             BackoffProtocol::new,
         );
-        let (sat, c1) = election_slots(
+        let (sat, c1) = ctx.election_slots(
+            "e21",
+            &format!("backoff-sat/n={n}"),
+            backoff_proto.clone(),
             n,
             CdModel::NoCd,
             &saturating(eps, 8),
@@ -121,7 +156,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             cap,
             BackoffProtocol::new,
         );
-        let (tgt, c2) = election_slots(
+        let (tgt, c2) = ctx.election_slots(
+            "e21",
+            &format!("backoff-targeted/n={n}"),
+            backoff_proto,
             n,
             CdModel::NoCd,
             &targeted,
@@ -130,7 +168,10 @@ pub fn run(quick: bool) -> ExperimentResult {
             cap,
             BackoffProtocol::new,
         );
-        let (lesk, c3) = election_slots(
+        let (lesk, c3) = ctx.election_slots(
+            "e21",
+            &format!("lesk-sat/n={n}"),
+            serde_json::json!({"proto": "lesk", "eps": eps}),
             n,
             CdModel::Strong,
             &saturating(eps, 8),
@@ -166,7 +207,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

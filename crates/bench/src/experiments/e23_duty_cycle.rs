@@ -6,16 +6,18 @@
 //! experiment maps the Pareto curve and confirms the jamming robustness
 //! is preserved under duty cycling.
 
-use crate::common::{saturating, ExperimentResult};
+use crate::common::{saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Table};
-use jle_engine::{run_exact, MonteCarlo, SimConfig};
+use jle_engine::{run_exact, SimConfig};
 use jle_protocols::DutyCycledLesk;
 use jle_radio::CdModel;
+use serde::Serialize;
 
 #[allow(clippy::type_complexity)] // inline row-projection closures read better than aliases
 /// Run E23.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e23",
         "duty-cycled LESK: listening energy vs election latency",
@@ -37,20 +39,35 @@ pub fn run(quick: bool) -> ExperimentResult {
         ]);
         let mut baseline: Option<(f64, f64)> = None;
         for (i, &period) in periods.iter().enumerate() {
-            let mc = MonteCarlo::new(trials, 230_000 + i as u64 * 11);
-            let rows: Vec<(f64, f64, f64, bool)> = mc.run(|seed| {
-                let config =
-                    SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(5_000_000);
-                let r = run_exact(&config, &adv, move |st| {
-                    Box::new(DutyCycledLesk::new(eps, period, st))
-                });
-                (
-                    r.slots as f64,
-                    r.energy.listens as f64 / n as f64,
-                    r.tx_per_station(n),
-                    r.leader_elected(),
-                )
+            let params = serde_json::json!({
+                "kind": "duty_cycle",
+                "n": n,
+                "eps": eps,
+                "period": period,
+                "adv": adv.to_json_value(),
+                "max_slots": 5_000_000u64,
             });
+            let rows: Vec<(f64, f64, f64, bool)> = ctx.run_trials(
+                "e23",
+                &format!("{name}/period={period}"),
+                params,
+                230_000 + i as u64 * 11,
+                trials,
+                |seed| {
+                    let config = SimConfig::new(n, CdModel::Strong)
+                        .with_seed(seed)
+                        .with_max_slots(5_000_000);
+                    let r = run_exact(&config, &adv, move |st| {
+                        Box::new(DutyCycledLesk::new(eps, period, st))
+                    });
+                    (
+                        r.slots as f64,
+                        r.energy.listens as f64 / n as f64,
+                        r.tx_per_station(n),
+                        r.leader_elected(),
+                    )
+                },
+            );
             let med = |f: &dyn Fn(&(f64, f64, f64, bool)) -> f64| {
                 let mut v: Vec<f64> = rows.iter().map(f).collect();
                 v.sort_by(f64::total_cmp);
@@ -88,7 +105,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 2);
         assert!(!r.notes.is_empty());
     }

@@ -10,9 +10,10 @@
 //! in [`Supervisor`] (silence watchdog + restart with exponential
 //! backoff) and is coupled to the bare arm — identical seeds and
 //! identical [`FaultPlan`]s — so any difference is the supervisor's
-//! doing. All trials run through the panic-isolating
-//! [`MonteCarlo::run_caught`], and the panicked-trial count is part of
-//! every table.
+//! doing. Every trial is a self-contained cacheable unit: it is caught
+//! individually via [`jle_engine::catch_trial`] and carries its own
+//! supervisor-respawn count, so a cached replay reproduces restart
+//! statistics without re-simulating.
 //!
 //! What the sweep can and cannot show, honestly: LESK's one-sided-error
 //! rule makes it self-stabilizing (silence drives the estimate down, so
@@ -30,15 +31,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::common::{median, saturating, ExperimentResult};
+use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Figure, Series, Table};
 use jle_engine::{
-    panic_count, run_exact_faulty, FaultPlan, MonteCarlo, Outcome, PerStation, Protocol, RunReport,
-    SimConfig,
+    catch_trial, run_exact_faulty, FaultPlan, Outcome, PerStation, Protocol, RunReport, SimConfig,
+    TrialOutcome,
 };
 use jle_protocols::{LeskProtocol, LesuProtocol, Supervisor};
 use jle_radio::CdModel;
+use serde::{Serialize, Value};
 
 const N: u64 = 24;
 const EPS: f64 = 0.5;
@@ -73,34 +75,71 @@ impl ArmStats {
     }
 }
 
-/// Run one arm: `trials` coupled runs of `factory` under `plan_of(seed)`.
+/// The canonical parameter tree of one faulty-election arm: the fault
+/// *plan descriptor* (plans themselves are per-seed, derived from it),
+/// the protocol, and the optional supervisor watchdog.
+fn arm_params(
+    adv: &AdversarySpec,
+    cap: u64,
+    plan: Value,
+    proto: Value,
+    watchdog: Option<u64>,
+) -> Value {
+    serde_json::json!({
+        "kind": "faulty_election",
+        "n": N,
+        "adv": adv.to_json_value(),
+        "max_slots": cap,
+        "plan": plan,
+        "proto": proto,
+        "watchdog": watchdog,
+    })
+}
+
+/// Run one arm as a cacheable work unit: `trials` coupled runs of the
+/// factory built by `mk_factory` under `plan_of(seed)`.
 ///
-/// `spawn_counter`, when given, must be incremented by the factory's
-/// *inner* respawn closure; since every run spawns exactly `N` initial
-/// inners and the e24 plans schedule no recoveries, the surplus over
-/// `N·trials` is exactly the number of supervisor restarts.
-fn run_arm(
+/// Each trial builds its *own* respawn counter, hands it to
+/// `mk_factory`, and returns `(outcome, spawns)` — since every run
+/// spawns exactly `N` initial inners and the e24 plans schedule no
+/// recoveries, the per-trial surplus over `N` is exactly the number of
+/// supervisor restarts. Keeping the count inside the trial result (not
+/// a global side channel) is what lets a cached replay reproduce it.
+#[allow(clippy::too_many_arguments)]
+fn run_arm<F, G>(
+    ctx: &ExpContext,
+    point: &str,
+    params: Value,
     trials: u64,
     base_seed: u64,
     cap: u64,
     adv: &AdversarySpec,
     plan_of: &(dyn Fn(u64) -> FaultPlan + Sync),
-    factory: &(impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + Clone + 'static),
-    spawn_counter: Option<&Arc<AtomicU64>>,
-) -> ArmStats {
-    let mc = MonteCarlo::new(trials, base_seed);
-    let outcomes = mc.run_caught(|seed| {
-        let config = SimConfig::new(N, CdModel::Strong).with_seed(seed).with_max_slots(cap);
-        run_exact_faulty(&config, adv, &plan_of(seed), factory.clone())
-    });
-    let panics = panic_count(&outcomes);
-    let reports: Vec<&RunReport> = outcomes.iter().filter_map(|o| o.as_ok()).collect();
+    counted: bool,
+    mk_factory: G,
+) -> ArmStats
+where
+    F: Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static,
+    G: Fn(Arc<AtomicU64>) -> F + Sync,
+{
+    let outcomes: Vec<(TrialOutcome<RunReport>, u64)> =
+        ctx.run_trials("e24", point, params, base_seed, trials, |seed| {
+            let spawns = Arc::new(AtomicU64::new(0));
+            let factory = mk_factory(Arc::clone(&spawns));
+            let out = catch_trial(|| {
+                let config = SimConfig::new(N, CdModel::Strong).with_seed(seed).with_max_slots(cap);
+                run_exact_faulty(&config, adv, &plan_of(seed), factory)
+            });
+            (out, spawns.load(Ordering::Relaxed))
+        });
+    let panics = outcomes.iter().filter(|(o, _)| o.is_panicked()).count() as u64;
+    let reports: Vec<&RunReport> = outcomes.iter().filter_map(|(o, _)| o.as_ok()).collect();
     let done = reports.len().max(1) as f64;
     let rate = |o: Outcome| reports.iter().filter(|r| r.outcome() == o).count() as f64 / done;
     let slots: Vec<f64> = reports.iter().map(|r| r.slots as f64).collect();
-    let mean_restarts = spawn_counter.map(|c| {
-        let spawns = c.swap(0, Ordering::Relaxed);
-        (spawns.saturating_sub(N * trials)) as f64 / trials as f64
+    let mean_restarts = counted.then(|| {
+        let surplus: u64 = outcomes.iter().map(|(_, s)| s.saturating_sub(N)).sum();
+        surplus as f64 / trials as f64
     });
     ArmStats {
         valid: rate(Outcome::Elected),
@@ -112,8 +151,8 @@ fn run_arm(
     }
 }
 
-/// A bare LESK station factory.
-fn bare_lesk() -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + Clone + 'static {
+/// A bare LESK station factory (no respawn counting).
+fn bare_lesk() -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static {
     move |_| Box::new(PerStation::new(LeskProtocol::new(EPS)))
 }
 
@@ -121,7 +160,7 @@ fn bare_lesk() -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + Clone + 'sta
 fn supervised_lesk(
     watchdog: u64,
     counter: Arc<AtomicU64>,
-) -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + Clone + 'static {
+) -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static {
     move |_| {
         let c = Arc::clone(&counter);
         Box::new(Supervisor::new(
@@ -135,7 +174,8 @@ fn supervised_lesk(
 }
 
 /// Run E24.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let quick = ctx.quick;
     let mut result = ExperimentResult::new(
         "e24",
         "fault injection + restart supervision: beyond the perfect-station model",
@@ -144,6 +184,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let trials = if quick { 20 } else { 100 };
     let cap = if quick { 60_000 } else { 200_000 };
     let adv = saturating(EPS, T_WINDOW);
+    let lesk_proto = serde_json::json!({"proto": "lesk", "eps": EPS});
 
     // ── Table 1: crash-rate sweep, bare vs supervised LESK ─────────────
     let crash_rates: Vec<f64> =
@@ -169,16 +210,34 @@ pub fn run(quick: bool) -> ExperimentResult {
                 .with_random_crashes(N, crash, CRASH_WINDOW)
                 .with_sensing_flips(N, FLIP)
         };
-        let bare = run_arm(trials, base_seed, cap, &adv, &plan_of, &bare_lesk(), None);
-        let ctr = Arc::new(AtomicU64::new(0));
-        let sup = run_arm(
+        let plan_desc = serde_json::json!({
+            "crashes": {"prob": crash, "window": CRASH_WINDOW},
+            "flips": FLIP,
+            "salt": PLAN_SALT,
+        });
+        let bare = run_arm(
+            ctx,
+            &format!("crash={crash}/bare"),
+            arm_params(&adv, cap, plan_desc.clone(), lesk_proto.clone(), None),
             trials,
             base_seed,
             cap,
             &adv,
             &plan_of,
-            &supervised_lesk(WATCHDOG, Arc::clone(&ctr)),
-            Some(&ctr),
+            false,
+            |_| bare_lesk(),
+        );
+        let sup = run_arm(
+            ctx,
+            &format!("crash={crash}/sup"),
+            arm_params(&adv, cap, plan_desc, lesk_proto.clone(), Some(WATCHDOG)),
+            trials,
+            base_seed,
+            cap,
+            &adv,
+            &plan_of,
+            true,
+            |c| supervised_lesk(WATCHDOG, c),
         );
         dominance_held &= sup.valid >= bare.valid;
         s_bare.push(crash, bare.valid);
@@ -234,16 +293,34 @@ pub fn run(quick: bool) -> ExperimentResult {
                 .with_staggered_wakeups(N, stagger)
                 .with_sensing_flips(N, FLIP)
         };
-        let bare = run_arm(trials, base_seed, cap, &adv, &plan_of, &bare_lesk(), None);
-        let ctr = Arc::new(AtomicU64::new(0));
-        let sup = run_arm(
+        let plan_desc = serde_json::json!({
+            "stagger": stagger,
+            "flips": FLIP,
+            "salt": PLAN_SALT,
+        });
+        let bare = run_arm(
+            ctx,
+            &format!("stagger={stagger}/bare"),
+            arm_params(&adv, cap, plan_desc.clone(), lesk_proto.clone(), None),
             trials,
             base_seed,
             cap,
             &adv,
             &plan_of,
-            &supervised_lesk(WATCHDOG, Arc::clone(&ctr)),
-            Some(&ctr),
+            false,
+            |_| bare_lesk(),
+        );
+        let sup = run_arm(
+            ctx,
+            &format!("stagger={stagger}/sup"),
+            arm_params(&adv, cap, plan_desc, lesk_proto.clone(), Some(WATCHDOG)),
+            trials,
+            base_seed,
+            cap,
+            &adv,
+            &plan_of,
+            true,
+            |c| supervised_lesk(WATCHDOG, c),
         );
         t2.push_row([
             format!("{stagger}"),
@@ -271,6 +348,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             .with_staggered_wakeups(N, 512)
             .with_sensing_flips(N, FLIP)
     };
+    let churn_desc = serde_json::json!({
+        "crashes": {"prob": 0.15, "window": CRASH_WINDOW},
+        "stagger": 512u64,
+        "flips": FLIP,
+        "salt": PLAN_SALT,
+    });
+    let lesu_proto = serde_json::json!({"proto": "lesu"});
     let mut t3 = Table::new([
         "arm",
         "valid",
@@ -280,22 +364,41 @@ pub fn run(quick: bool) -> ExperimentResult {
         "restarts/run",
         "panicked trials",
     ]);
-    let bare_lesu =
-        move |_: u64| -> Box<dyn Protocol> { Box::new(PerStation::new(LesuProtocol::new())) };
-    let lesu_bare = run_arm(trials, 242_000, cap, &adv, &churn_plan, &bare_lesu, None);
-    let ctr = Arc::new(AtomicU64::new(0));
-    let c2 = Arc::clone(&ctr);
-    let sup_lesu = move |_: u64| -> Box<dyn Protocol> {
-        let c = Arc::clone(&c2);
-        Box::new(Supervisor::new(
-            WATCHDOG,
-            Box::new(move || {
-                c.fetch_add(1, Ordering::Relaxed);
-                Box::new(PerStation::new(LesuProtocol::new()))
-            }),
-        ))
-    };
-    let lesu_sup = run_arm(trials, 242_000, cap, &adv, &churn_plan, &sup_lesu, Some(&ctr));
+    let lesu_bare = run_arm(
+        ctx,
+        "churn/lesu-bare",
+        arm_params(&adv, cap, churn_desc.clone(), lesu_proto.clone(), None),
+        trials,
+        242_000,
+        cap,
+        &adv,
+        &churn_plan,
+        false,
+        |_| move |_: u64| -> Box<dyn Protocol> { Box::new(PerStation::new(LesuProtocol::new())) },
+    );
+    let lesu_sup = run_arm(
+        ctx,
+        "churn/lesu-sup",
+        arm_params(&adv, cap, churn_desc, lesu_proto, Some(WATCHDOG)),
+        trials,
+        242_000,
+        cap,
+        &adv,
+        &churn_plan,
+        true,
+        |ctr| {
+            move |_: u64| -> Box<dyn Protocol> {
+                let c = Arc::clone(&ctr);
+                Box::new(Supervisor::new(
+                    WATCHDOG,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        Box::new(PerStation::new(LesuProtocol::new()))
+                    }),
+                ))
+            }
+        },
+    );
     for (name, a) in [("LESU bare", &lesu_bare), ("LESU supervised", &lesu_sup)] {
         t3.push_row([
             name.to_string(),
@@ -315,6 +418,11 @@ pub fn run(quick: bool) -> ExperimentResult {
             .with_random_crashes(N, 0.2, CRASH_WINDOW)
             .with_sensing_flips(N, FLIP)
     };
+    let stress_desc = serde_json::json!({
+        "crashes": {"prob": 0.2, "window": CRASH_WINDOW},
+        "flips": FLIP,
+        "salt": PLAN_SALT,
+    });
     let windows: Vec<u64> = if quick { vec![64, WATCHDOG] } else { vec![64, 1_024, WATCHDOG] };
     let mut t4 = Table::new([
         "watchdog window",
@@ -328,7 +436,18 @@ pub fn run(quick: bool) -> ExperimentResult {
     // One shared base seed: every row faces the *same* fault plans and
     // engine seeds, so differences are the watchdog's doing alone.
     let stress_seed = 243_000;
-    let stress_bare = run_arm(trials, stress_seed, cap, &adv, &stress_plan, &bare_lesk(), None);
+    let stress_bare = run_arm(
+        ctx,
+        "stress/bare",
+        arm_params(&adv, cap, stress_desc.clone(), lesk_proto.clone(), None),
+        trials,
+        stress_seed,
+        cap,
+        &adv,
+        &stress_plan,
+        false,
+        |_| bare_lesk(),
+    );
     t4.push_row([
         "bare (no supervisor)".into(),
         format!("{:.2}", stress_bare.valid),
@@ -339,15 +458,17 @@ pub fn run(quick: bool) -> ExperimentResult {
         format!("{}", stress_bare.panics),
     ]);
     for &w in &windows {
-        let ctr = Arc::new(AtomicU64::new(0));
         let a = run_arm(
+            ctx,
+            &format!("stress/w={w}"),
+            arm_params(&adv, cap, stress_desc.clone(), lesk_proto.clone(), Some(w)),
             trials,
             stress_seed,
             cap,
             &adv,
             &stress_plan,
-            &supervised_lesk(w, Arc::clone(&ctr)),
-            Some(&ctr),
+            true,
+            |c| supervised_lesk(w, c),
         );
         t4.push_row([
             format!("{w}"),
@@ -386,7 +507,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 mod tests {
     #[test]
     fn quick_run_is_consistent() {
-        let r = super::run(true);
+        let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 4);
         assert_eq!(r.figures.len(), 1);
         assert!(r.notes.iter().any(|n| n.contains("HELD")), "dominance must hold: {:?}", r.notes);

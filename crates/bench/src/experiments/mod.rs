@@ -1,9 +1,11 @@
 //! The reproduction experiments, one module per paper claim.
 //!
 //! See `DESIGN.md` §5 for the full index. Every experiment is a pure
-//! function `run(quick: bool) -> ExperimentResult`; `quick = true` trims
-//! sweeps and trial counts for smoke tests, `quick = false` is the full
-//! reproduction recorded in `EXPERIMENTS.md`.
+//! function `run(ctx: &ExpContext) -> ExperimentResult`; `ctx.quick`
+//! trims sweeps and trial counts for smoke tests, and all Monte-Carlo
+//! work is submitted through `ctx` so it is cached, resumable, and
+//! reported by the orchestrator (`DESIGN.md` §9). The full reproduction
+//! is recorded in `EXPERIMENTS.md`.
 
 pub mod e01_runtime_vs_n;
 pub mod e02_runtime_vs_eps;
@@ -30,7 +32,7 @@ pub mod e22_noise;
 pub mod e23_duty_cycle;
 pub mod e24_faults;
 
-use crate::common::ExperimentResult;
+use crate::common::{ExpContext, ExperimentResult};
 
 /// All experiment ids, in order.
 pub const ALL_IDS: [&str; 24] = [
@@ -39,32 +41,32 @@ pub const ALL_IDS: [&str; 24] = [
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
-pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
+pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<ExperimentResult> {
     Some(match id {
-        "e1" => e01_runtime_vs_n::run(quick),
-        "e2" => e02_runtime_vs_eps::run(quick),
-        "e3" => e03_runtime_vs_t::run(quick),
-        "e4" => e04_lesu_vs_n::run(quick),
-        "e5" => e05_lesu_vs_t::run(quick),
-        "e6" => e06_weak_cd::run(quick),
-        "e7" => e07_baselines::run(quick),
-        "e8" => e08_lower_bound::run(quick),
-        "e9" => e09_whp::run(quick),
-        "e10" => e10_trajectory::run(quick),
-        "e11" => e11_taxonomy::run(quick),
-        "e12" => e12_estimation::run(quick),
-        "e13" => e13_energy::run(quick),
-        "e14" => e14_adversaries::run(quick),
-        "e15" => e15_engines::run(quick),
-        "e16" => e16_k_selection::run(quick),
-        "e17" => e17_size_approx::run(quick),
-        "e18" => e18_oracle::run(quick),
-        "e19" => e19_fair_use::run(quick),
-        "e20" => e20_increment::run(quick),
-        "e21" => e21_no_cd::run(quick),
-        "e22" => e22_noise::run(quick),
-        "e23" => e23_duty_cycle::run(quick),
-        "e24" => e24_faults::run(quick),
+        "e1" => e01_runtime_vs_n::run(ctx),
+        "e2" => e02_runtime_vs_eps::run(ctx),
+        "e3" => e03_runtime_vs_t::run(ctx),
+        "e4" => e04_lesu_vs_n::run(ctx),
+        "e5" => e05_lesu_vs_t::run(ctx),
+        "e6" => e06_weak_cd::run(ctx),
+        "e7" => e07_baselines::run(ctx),
+        "e8" => e08_lower_bound::run(ctx),
+        "e9" => e09_whp::run(ctx),
+        "e10" => e10_trajectory::run(ctx),
+        "e11" => e11_taxonomy::run(ctx),
+        "e12" => e12_estimation::run(ctx),
+        "e13" => e13_energy::run(ctx),
+        "e14" => e14_adversaries::run(ctx),
+        "e15" => e15_engines::run(ctx),
+        "e16" => e16_k_selection::run(ctx),
+        "e17" => e17_size_approx::run(ctx),
+        "e18" => e18_oracle::run(ctx),
+        "e19" => e19_fair_use::run(ctx),
+        "e20" => e20_increment::run(ctx),
+        "e21" => e21_no_cd::run(ctx),
+        "e22" => e22_noise::run(ctx),
+        "e23" => e23_duty_cycle::run(ctx),
+        "e24" => e24_faults::run(ctx),
         _ => return None,
     })
 }
@@ -73,6 +75,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
 mod tests {
     #[test]
     fn unknown_id_is_none() {
-        assert!(super::run_by_id("e99", true).is_none());
+        let ctx = crate::common::ExpContext::ephemeral(true);
+        assert!(super::run_by_id("e99", &ctx).is_none());
     }
 }

@@ -32,6 +32,7 @@ use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
 use jle_radio::{cd::Observation, ChannelState};
 use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+use serde::{value::Error, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -167,6 +168,69 @@ const TAG_DEAF: u64 = 0xC3;
 pub struct FaultPlan {
     seed: u64,
     faults: BTreeMap<u64, StationFaults>,
+}
+
+// Hand-written (de)serialization: the vendored derive handles neither
+// `BTreeMap` nor tuple-typed fields, and fault plans must serialize
+// canonically so the orchestrator can fingerprint them (BTreeMap iteration
+// is already sorted by station index, so the rendering is deterministic).
+impl Serialize for StationFaults {
+    fn to_json_value(&self) -> Value {
+        Value::Map(vec![
+            ("wake_at".to_string(), self.wake_at.to_json_value()),
+            ("crash_at".to_string(), self.crash_at.to_json_value()),
+            ("recover_at".to_string(), self.recover_at.to_json_value()),
+            ("deaf".to_string(), self.deaf.to_json_value()),
+            ("sensing_flip_prob".to_string(), self.sensing_flip_prob.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for StationFaults {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| Error::missing_field("StationFaults", name)).cloned()
+        };
+        Ok(StationFaults {
+            wake_at: u64::from_json_value(&field("wake_at")?)?,
+            crash_at: Option::<u64>::from_json_value(&field("crash_at")?)?,
+            recover_at: Option::<u64>::from_json_value(&field("recover_at")?)?,
+            deaf: Option::<(u64, u64)>::from_json_value(&field("deaf")?)?,
+            sensing_flip_prob: f64::from_json_value(&field("sensing_flip_prob")?)?,
+        })
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn to_json_value(&self) -> Value {
+        let faults = self
+            .faults
+            .iter()
+            .map(|(station, f)| (station.to_string(), f.to_json_value()))
+            .collect();
+        Value::Map(vec![
+            ("seed".to_string(), self.seed.to_json_value()),
+            ("faults".to_string(), Value::Map(faults)),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let seed_v = v.get("seed").ok_or_else(|| Error::missing_field("FaultPlan", "seed"))?;
+        let faults_v =
+            v.get("faults").ok_or_else(|| Error::missing_field("FaultPlan", "faults"))?;
+        let entries =
+            faults_v.as_map().ok_or_else(|| Error::custom("FaultPlan.faults must be an object"))?;
+        let mut faults = BTreeMap::new();
+        for (station, f) in entries {
+            let idx: u64 = station
+                .parse()
+                .map_err(|_| Error::custom(format!("bad station index key {station:?}")))?;
+            faults.insert(idx, StationFaults::from_json_value(f)?);
+        }
+        Ok(FaultPlan { seed: u64::from_json_value(seed_v)?, faults })
+    }
 }
 
 impl FaultPlan {

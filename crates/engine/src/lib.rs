@@ -38,5 +38,5 @@ pub use config::{SimConfig, StopRule};
 pub use exact::run_exact;
 pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, StationFaults};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
-pub use report::{EnergyStats, Outcome, RunReport};
-pub use runner::{panic_count, MonteCarlo, TrialOutcome};
+pub use report::{EnergyStats, Outcome, RunReport, SlotCost};
+pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};

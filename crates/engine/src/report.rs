@@ -4,6 +4,70 @@ use jle_radio::history::StateCounts;
 use jle_radio::Trace;
 use serde::{Deserialize, Serialize};
 
+/// How many channel slots a per-trial result represents — the unit behind
+/// the orchestrator's "slots simulated per second" telemetry.
+///
+/// Projected results (a median, a boolean, a tuple of scalars) default to
+/// `0`: throughput accounting is best-effort and only counts results that
+/// actually carry a slot total, like [`RunReport`]. Tuples sum their
+/// elements, so `(RunReport, extra)` still reports the run's slots.
+pub trait SlotCost {
+    /// Channel slots this result accounts for.
+    fn simulated_slots(&self) -> u64 {
+        0
+    }
+}
+
+macro_rules! impl_slot_cost_zero {
+    ($($t:ty),*) => {$(
+        impl SlotCost for $t {}
+    )*};
+}
+impl_slot_cost_zero!(bool, u32, u64, usize, i32, i64, f32, f64, String, &str, ());
+
+impl<T: SlotCost> SlotCost for Option<T> {
+    fn simulated_slots(&self) -> u64 {
+        self.as_ref().map_or(0, SlotCost::simulated_slots)
+    }
+}
+
+impl<T: SlotCost> SlotCost for Vec<T> {
+    fn simulated_slots(&self) -> u64 {
+        self.iter().map(SlotCost::simulated_slots).sum()
+    }
+}
+
+macro_rules! impl_slot_cost_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: SlotCost),+> SlotCost for ($($name,)+) {
+            fn simulated_slots(&self) -> u64 {
+                0 $(+ self.$idx.simulated_slots())+
+            }
+        }
+    )*};
+}
+impl_slot_cost_tuple! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+}
+
+impl SlotCost for RunReport {
+    fn simulated_slots(&self) -> u64 {
+        self.slots
+    }
+}
+
+impl<R: SlotCost> SlotCost for crate::runner::TrialOutcome<R> {
+    fn simulated_slots(&self) -> u64 {
+        match self {
+            crate::runner::TrialOutcome::Ok(r) => r.simulated_slots(),
+            crate::runner::TrialOutcome::Panicked(_) => 0,
+        }
+    }
+}
+
 /// Energy accounting: total station-slot expenditures across the run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnergyStats {

@@ -8,6 +8,7 @@
 //! the thread schedule.
 
 use rayon::prelude::*;
+use serde::{value::Error, Deserialize, Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The result of one trial under [`MonteCarlo::run_caught`].
@@ -52,9 +53,49 @@ impl<R> TrialOutcome<R> {
     }
 }
 
+// Externally-tagged representation ({"Ok": ...} / {"Panicked": "msg"}),
+// written by hand because the vendored derive does not handle generics.
+impl<R: Serialize> Serialize for TrialOutcome<R> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            TrialOutcome::Ok(r) => Value::Map(vec![("Ok".to_string(), r.to_json_value())]),
+            TrialOutcome::Panicked(m) => {
+                Value::Map(vec![("Panicked".to_string(), Value::Str(m.clone()))])
+            }
+        }
+    }
+}
+
+impl<R: Deserialize> Deserialize for TrialOutcome<R> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if let Some(inner) = v.get("Ok") {
+            return R::from_json_value(inner).map(TrialOutcome::Ok);
+        }
+        if let Some(inner) = v.get("Panicked") {
+            return match inner.as_str() {
+                Some(m) => Ok(TrialOutcome::Panicked(m.to_string())),
+                None => Err(Error::custom("TrialOutcome::Panicked payload must be a string")),
+            };
+        }
+        Err(Error::custom(format!("expected TrialOutcome object, found {}", v.kind())))
+    }
+}
+
 /// Number of panicked trials in a [`MonteCarlo::run_caught`] result.
 pub fn panic_count<R>(outcomes: &[TrialOutcome<R>]) -> u64 {
     outcomes.iter().filter(|o| o.is_panicked()).count() as u64
+}
+
+/// Run one trial closure with panic isolation: a panic is caught and
+/// rendered as [`TrialOutcome::Panicked`] instead of unwinding into the
+/// caller. This is the single-trial building block under
+/// [`MonteCarlo::run_caught`], exposed so schedulers that drive their own
+/// trial loops get identical isolation semantics.
+pub fn catch_trial<R>(f: impl FnOnce() -> R) -> TrialOutcome<R> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => TrialOutcome::Ok(r),
+        Err(payload) => TrialOutcome::Panicked(panic_payload_message(payload)),
+    }
 }
 
 fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -86,12 +127,28 @@ pub struct MonteCarlo {
     pub trials: u64,
     /// Seed of trial 0; trial `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Explicit worker-thread count; `None` uses all available
+    /// parallelism. Set with [`MonteCarlo::with_jobs`].
+    pub jobs: Option<usize>,
 }
 
 impl MonteCarlo {
     /// Create a driver.
     pub fn new(trials: u64, base_seed: u64) -> Self {
-        MonteCarlo { trials, base_seed }
+        MonteCarlo { trials, base_seed, jobs: None }
+    }
+
+    /// Run on an explicitly sized thread pool of `jobs` workers instead of
+    /// the global default (`jobs = 0` restores the default). Trial order
+    /// and seeding are unaffected — only the fan-out width changes.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { None } else { Some(jobs) };
+        self
+    }
+
+    /// The number of worker threads [`MonteCarlo::run`] will fan out to.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(rayon::current_num_threads).max(1)
     }
 
     /// Run `f(seed)` for every trial in parallel; results are returned in
@@ -101,7 +158,15 @@ impl MonteCarlo {
         R: Send,
         F: Fn(u64) -> R + Sync,
     {
-        (0..self.trials).into_par_iter().map(|i| f(self.base_seed + i)).collect()
+        let body = || (0..self.trials).into_par_iter().map(|i| f(self.base_seed + i)).collect();
+        match self.jobs {
+            Some(j) => rayon::ThreadPoolBuilder::new()
+                .num_threads(j)
+                .build()
+                .expect("sized thread pool")
+                .install(body),
+            None => body(),
+        }
     }
 
     /// Like [`MonteCarlo::run`], but a panicking trial is isolated: the
@@ -191,6 +256,36 @@ mod tests {
         let caught: Vec<u64> =
             mc.run_caught(|s| s + 1).into_iter().filter_map(TrialOutcome::ok).collect();
         assert_eq!(plain, caught);
+    }
+
+    #[test]
+    fn explicit_jobs_change_width_not_results() {
+        let wide = MonteCarlo::new(128, 9);
+        let narrow = MonteCarlo::new(128, 9).with_jobs(1);
+        assert_eq!(narrow.effective_jobs(), 1);
+        assert_eq!(MonteCarlo::new(1, 0).with_jobs(0).jobs, None);
+        let a = wide.run(|seed| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let b = narrow.run(|seed| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trial_outcome_serde_roundtrip() {
+        use serde::{Deserialize, Serialize};
+        let ok: TrialOutcome<u64> = TrialOutcome::Ok(17);
+        let bad: TrialOutcome<u64> = TrialOutcome::Panicked("boom".into());
+        for o in [ok, bad] {
+            let v = o.to_json_value();
+            assert_eq!(TrialOutcome::<u64>::from_json_value(&v).unwrap(), o);
+        }
+        assert!(TrialOutcome::<u64>::from_json_value(&serde::Value::Null).is_err());
+    }
+
+    #[test]
+    fn catch_trial_matches_run_caught() {
+        assert_eq!(catch_trial(|| 5u64), TrialOutcome::Ok(5));
+        let p = catch_trial(|| -> u64 { panic!("kaboom") });
+        assert_eq!(p.panic_message(), Some("kaboom"));
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! The trial-level sweep scheduler.
+//!
+//! [`Orchestrator::run_trials`] is the single entry point experiments
+//! submit work through. A unit of `trials` trials is split into fixed
+//! chunks; each chunk is either served from the [`ResultStore`] or
+//! simulated on the rayon pool via [`MonteCarlo`] and checkpointed the
+//! moment it finishes. Per-trial seeding is the workspace convention
+//! `base_seed + trial_index` — a chunk covering `[start, end)` runs
+//! `MonteCarlo::new(end - start, base_seed + start)` — so the assembled
+//! result vector is bit-identical whether the unit was computed in one
+//! pass, resumed after a kill, or served entirely from cache.
+
+use crate::fingerprint::{canonical_json, canonicalize, Fingerprint, WorkSpec};
+use crate::store::ResultStore;
+use crate::telemetry::{Event, Reporter, Stats, StatsSnapshot};
+use jle_engine::{MonteCarlo, SlotCost};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default trials per checkpointed chunk. Small enough that a killed
+/// sweep loses seconds of work, large enough that store traffic is noise
+/// next to simulation time.
+pub const DEFAULT_CHUNK_SIZE: u64 = 32;
+
+/// Cache-key salt naming the current simulation-code generation. Bump on
+/// any behavioural change to the engine or protocols so stale results are
+/// recomputed instead of served.
+pub const DEFAULT_CODE_SALT: &str = "jle-sim-v1";
+
+/// How the scheduler uses the result store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// No store at all: compute everything, persist nothing.
+    Off,
+    /// Serve a unit from cache only when **every** chunk is present;
+    /// otherwise recompute the whole unit (persisting as it goes). The
+    /// default: partial state never influences a fresh run's shape.
+    #[default]
+    Complete,
+    /// Additionally reuse partial per-chunk checkpoints, computing only
+    /// the missing chunks — `--resume` after an interrupted sweep.
+    Resume,
+    /// Ignore existing entries and overwrite them — `--force`.
+    Force,
+}
+
+/// Why a unit stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interrupted {
+    /// The test-only chunk budget ran out mid-unit. Completed chunks are
+    /// already checkpointed; a `Resume` run picks up from here.
+    ChunkBudgetExhausted {
+        /// Trials already available (cached or checkpointed) when the
+        /// budget ran out.
+        completed_trials: u64,
+    },
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupted::ChunkBudgetExhausted { completed_trials } => {
+                write!(f, "chunk budget exhausted after {completed_trials} completed trials")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// The scheduler: owns the store handle, the cache policy, the telemetry
+/// fan-out, and the run counters.
+pub struct Orchestrator {
+    store: Option<ResultStore>,
+    policy: CachePolicy,
+    chunk_size: u64,
+    jobs: Option<usize>,
+    salt: String,
+    reporters: Vec<Box<dyn Reporter>>,
+    stats: Arc<Stats>,
+    /// Test hook: when set, each executed (not cached) chunk decrements
+    /// the budget; at zero the unit aborts with [`Interrupted`], modelling
+    /// a mid-sweep kill at a checkpoint boundary.
+    chunk_budget: Option<AtomicU64>,
+    started: Instant,
+}
+
+impl Orchestrator {
+    /// An orchestrator with no on-disk store: everything is computed,
+    /// nothing persists. Telemetry still works.
+    pub fn ephemeral() -> Self {
+        Orchestrator {
+            store: None,
+            policy: CachePolicy::Off,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            jobs: None,
+            salt: DEFAULT_CODE_SALT.to_string(),
+            reporters: Vec::new(),
+            stats: Arc::new(Stats::default()),
+            chunk_budget: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// An orchestrator backed by a store at `dir` (created if absent),
+    /// with the default [`CachePolicy::Complete`].
+    pub fn with_cache_dir(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let mut o = Self::ephemeral();
+        o.store = Some(ResultStore::open(dir)?);
+        o.policy = CachePolicy::Complete;
+        Ok(o)
+    }
+
+    /// Set the cache policy. Setting anything but `Off` without a store
+    /// behaves as `Off`.
+    pub fn policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the checkpoint chunk size (clamped to ≥ 1).
+    pub fn chunk_size(mut self, trials: u64) -> Self {
+        self.chunk_size = trials.max(1);
+        self
+    }
+
+    /// Pin the rayon worker count for executed chunks (`0` = default).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { None } else { Some(jobs) };
+        self
+    }
+
+    /// Override the code-version salt baked into every cache key.
+    pub fn salt(mut self, salt: impl Into<String>) -> Self {
+        self.salt = salt.into();
+        self
+    }
+
+    /// Attach a telemetry reporter.
+    pub fn reporter(mut self, r: impl Reporter + 'static) -> Self {
+        self.reporters.push(Box::new(r));
+        self
+    }
+
+    /// Test hook: abort after `chunks` executed chunks (see
+    /// [`Interrupted::ChunkBudgetExhausted`]).
+    pub fn chunk_budget(mut self, chunks: u64) -> Self {
+        self.chunk_budget = Some(AtomicU64::new(chunks));
+        self
+    }
+
+    /// Effective worker parallelism for executed chunks.
+    pub fn effective_jobs(&self) -> usize {
+        MonteCarlo::new(0, 0).with_jobs(self.jobs.unwrap_or(0)).effective_jobs()
+    }
+
+    /// The shared run counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// A copy of the run counters.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Seconds since the orchestrator was constructed.
+    pub fn wall_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Fan one event out to every reporter.
+    pub fn emit(&self, event: &Event<'_>) {
+        for r in &self.reporters {
+            r.report(event);
+        }
+    }
+
+    /// Announce the run (worker count) to reporters.
+    pub fn announce(&self) {
+        self.emit(&Event::RunStarted { jobs: self.effective_jobs() });
+    }
+
+    /// Emit the closing [`Event::RunSummary`].
+    pub fn summarize(&self) {
+        self.emit(&Event::RunSummary { stats: self.stats.snapshot(), wall_secs: self.wall_secs() });
+    }
+
+    fn chunk_ranges(&self, trials: u64) -> Vec<(u64, u64)> {
+        (0..trials)
+            .step_by(self.chunk_size as usize)
+            .map(|start| (start, (start + self.chunk_size).min(trials)))
+            .collect()
+    }
+
+    /// Run (or recall) `trials` trials of `spec`, returning results in
+    /// trial order. `f` maps a per-trial seed (`spec.base_seed + index`)
+    /// to a result; it must be deterministic in the seed and fully
+    /// described by `spec` — anything else aliases in the cache.
+    ///
+    /// Errors only via the chunk-budget test hook; production paths
+    /// always complete (store corruption degrades to recomputation).
+    pub fn try_run_trials<R, F>(
+        &self,
+        spec: &WorkSpec,
+        trials: u64,
+        f: F,
+    ) -> Result<Vec<R>, Interrupted>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+        F: Fn(u64) -> R + Sync,
+    {
+        let unit_started = Instant::now();
+        let key = Fingerprint::of(spec, &self.salt, std::any::type_name::<R>());
+        let store = match self.policy {
+            CachePolicy::Off => None,
+            _ => self.store.as_ref(),
+        };
+        let ranges = self.chunk_ranges(trials);
+
+        self.stats.add(&self.stats.units, 1);
+        self.stats.add(&self.stats.planned_trials, trials);
+
+        // Phase 1: what does the store already hold?
+        let mut cached: Vec<Option<Vec<R>>> = Vec::with_capacity(ranges.len());
+        if let Some(store) = store.filter(|_| self.policy != CachePolicy::Force) {
+            for &(start, end) in &ranges {
+                cached.push(store.load_chunk(&key, start, end));
+            }
+        } else {
+            cached.resize_with(ranges.len(), || None);
+        }
+        // Under Complete, partial coverage is discarded wholesale so a
+        // fresh run's shape never depends on leftover checkpoints.
+        if self.policy == CachePolicy::Complete && cached.iter().any(Option::is_none) {
+            for slot in &mut cached {
+                *slot = None;
+            }
+        }
+
+        let cached_trials: u64 = ranges
+            .iter()
+            .zip(&cached)
+            .filter(|(_, c)| c.is_some())
+            .map(|(&(start, end), _)| end - start)
+            .sum();
+        for c in &cached {
+            let counter =
+                if c.is_some() { &self.stats.chunk_hits } else { &self.stats.chunk_misses };
+            self.stats.add(counter, 1);
+        }
+        self.stats.add(&self.stats.cached_trials, cached_trials);
+        self.emit(&Event::UnitStarted {
+            experiment: &spec.experiment,
+            point: &spec.point,
+            key: key.hex(),
+            trials,
+            cached_trials,
+        });
+        if let Some(store) = store {
+            if cached_trials < trials {
+                let pretty = serde_json::to_string_pretty(&canonicalize(&spec.to_value()))
+                    .expect("spec serialization");
+                let _ = store.write_spec_info(&key, &pretty);
+            }
+        }
+
+        // Phase 2: execute the missing chunks in range order, checkpointing
+        // each as it completes.
+        let mut executed_trials = 0u64;
+        let mut executed_slots = 0u64;
+        let exec_started = Instant::now();
+        let remaining_exec: u64 = trials - cached_trials;
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if cached[i].is_some() {
+                continue;
+            }
+            if let Some(budget) = &self.chunk_budget {
+                let left = budget.load(Ordering::Relaxed);
+                if left == 0 {
+                    let completed_trials = cached_trials + executed_trials;
+                    return Err(Interrupted::ChunkBudgetExhausted { completed_trials });
+                }
+                budget.store(left - 1, Ordering::Relaxed);
+            }
+            let len = end - start;
+            let mc = MonteCarlo::new(len, spec.base_seed + start).with_jobs(self.jobs.unwrap_or(0));
+            let results = mc.run(&f);
+            if let Some(store) = store {
+                // Persist best-effort: an unwritable cache degrades to
+                // recomputation next run, never to failure now.
+                let _ = store.write_chunk(&key, start, end, &results);
+            }
+            let slots: u64 = results.iter().map(SlotCost::simulated_slots).sum();
+            executed_trials += len;
+            executed_slots += slots;
+            self.stats.add(&self.stats.executed_trials, len);
+            self.stats.add(&self.stats.simulated_slots, slots);
+
+            let elapsed = exec_started.elapsed().as_secs_f64().max(1e-9);
+            let trials_per_sec = executed_trials as f64 / elapsed;
+            let eta_secs = (remaining_exec - executed_trials) as f64 / trials_per_sec;
+            self.emit(&Event::ChunkFinished {
+                experiment: &spec.experiment,
+                point: &spec.point,
+                start,
+                end,
+                slots,
+                trials_per_sec,
+                slots_per_sec: executed_slots as f64 / elapsed,
+                eta_secs,
+            });
+            cached[i] = Some(results);
+        }
+
+        self.emit(&Event::UnitFinished {
+            experiment: &spec.experiment,
+            point: &spec.point,
+            key: key.hex(),
+            executed_trials,
+            cached_trials,
+            slots: executed_slots,
+            wall_secs: unit_started.elapsed().as_secs_f64(),
+        });
+
+        let mut out = Vec::with_capacity(trials as usize);
+        for chunk in cached {
+            out.extend(chunk.expect("every chunk resolved"));
+        }
+        Ok(out)
+    }
+
+    /// [`Self::try_run_trials`], panicking on the (test-only) interrupt.
+    pub fn run_trials<R, F>(&self, spec: &WorkSpec, trials: u64, f: F) -> Vec<R>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+        F: Fn(u64) -> R + Sync,
+    {
+        self.try_run_trials(spec, trials, f).expect("interrupted without a chunk budget")
+    }
+
+    /// The canonical JSON this orchestrator would hash for `spec` — for
+    /// diagnostics and tests.
+    pub fn canonical_spec_json(&self, spec: &WorkSpec) -> String {
+        canonical_json(&spec.to_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("jle-orch-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> WorkSpec {
+        WorkSpec::new("eT", "unit", json!({"n": 8u64}), 5000)
+    }
+
+    fn trial(seed: u64) -> u64 {
+        seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    }
+
+    #[test]
+    fn ephemeral_matches_direct_monte_carlo() {
+        let orch = Orchestrator::ephemeral().chunk_size(7);
+        let got: Vec<u64> = orch.run_trials(&spec(), 100, trial);
+        let direct = MonteCarlo::new(100, 5000).run(trial);
+        assert_eq!(got, direct);
+    }
+
+    #[test]
+    fn warm_cache_executes_zero_trials() {
+        let dir = tmp_dir("warm");
+        let cold = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let a: Vec<u64> = cold.run_trials(&spec(), 50, trial);
+        assert_eq!(cold.stats_snapshot().executed_trials, 50);
+
+        let warm = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let b: Vec<u64> = warm.run_trials(&spec(), 50, trial);
+        let snap = warm.stats_snapshot();
+        assert_eq!(snap.executed_trials, 0, "warm run must execute nothing");
+        assert_eq!(snap.cached_trials, 50);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn complete_policy_ignores_partial_coverage() {
+        let dir = tmp_dir("complete");
+        // Interrupt a cold run after 2 chunks.
+        let cold = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).chunk_budget(2);
+        let err = cold.try_run_trials::<u64, _>(&spec(), 50, trial).unwrap_err();
+        assert_eq!(err, Interrupted::ChunkBudgetExhausted { completed_trials: 16 });
+
+        // Default (Complete) policy: partial chunks are not consulted.
+        let fresh = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let a: Vec<u64> = fresh.run_trials(&spec(), 50, trial);
+        assert_eq!(fresh.stats_snapshot().executed_trials, 50);
+        assert_eq!(a, MonteCarlo::new(50, 5000).run(trial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reuses_partial_chunks_bit_identically() {
+        let dir = tmp_dir("resume");
+        let cold = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).chunk_budget(3);
+        let err = cold.try_run_trials::<u64, _>(&spec(), 50, trial).unwrap_err();
+        assert_eq!(err, Interrupted::ChunkBudgetExhausted { completed_trials: 24 });
+
+        let resumed =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).policy(CachePolicy::Resume);
+        let a: Vec<u64> = resumed.run_trials(&spec(), 50, trial);
+        let snap = resumed.stats_snapshot();
+        assert_eq!(snap.cached_trials, 24);
+        assert_eq!(snap.executed_trials, 26);
+        assert_eq!(a, MonteCarlo::new(50, 5000).run(trial), "resume must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn force_recomputes_and_overwrites() {
+        let dir = tmp_dir("force");
+        let cold = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let _: Vec<u64> = cold.run_trials(&spec(), 20, trial);
+
+        let forced =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).policy(CachePolicy::Force);
+        let a: Vec<u64> = forced.run_trials(&spec(), 20, trial);
+        assert_eq!(forced.stats_snapshot().executed_trials, 20);
+        assert_eq!(a, MonteCarlo::new(20, 5000).run(trial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_specs_do_not_alias() {
+        let dir = tmp_dir("alias");
+        let orch = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let a: Vec<u64> = orch.run_trials(&spec(), 20, trial);
+        let mut other = spec();
+        other.params = json!({"n": 9u64});
+        let b: Vec<u64> = orch.run_trials(&other, 20, |s| trial(s) ^ 1);
+        assert_ne!(a, b);
+        // Both now cached independently.
+        let warm = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let a2: Vec<u64> = warm.run_trials(&spec(), 20, trial);
+        let b2: Vec<u64> = warm.run_trials(&other, 20, |s| trial(s) ^ 1);
+        assert_eq!(warm.stats_snapshot().executed_trials, 0);
+        assert_eq!((a, b), (a2, b2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_is_handled() {
+        let orch = Orchestrator::ephemeral().chunk_size(32);
+        let got: Vec<u64> = orch.run_trials(&spec(), 33, trial);
+        assert_eq!(got.len(), 33);
+        assert_eq!(got, MonteCarlo::new(33, 5000).run(trial));
+    }
+}

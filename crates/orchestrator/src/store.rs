@@ -1,0 +1,223 @@
+//! Sharded on-disk result store: `<root>/<aa>/<key>/t<start>-<end>.json`.
+//!
+//! One directory per work unit (keyed by [`Fingerprint`], sharded by its
+//! two-char hex prefix to keep directories small), one JSON file per
+//! completed trial chunk. Writes are atomic — temp file in the same
+//! directory, then `rename` — so a killed sweep never leaves a partially
+//! written shard under a final name. Loading is corruption-tolerant: a
+//! shard that is unreadable, unparsable, mis-keyed, mis-ranged, or
+//! truncated is deleted and reported as absent, which makes the scheduler
+//! recompute it; corruption can cost time, never correctness and never a
+//! panic.
+
+use crate::fingerprint::Fingerprint;
+use serde::{Deserialize, Serialize, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes temp files written concurrently by one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The on-disk store rooted at a cache directory (`results/.cache` by
+/// convention).
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (and create, with its full hierarchy) a store at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of one work unit.
+    pub fn unit_dir(&self, key: &Fingerprint) -> PathBuf {
+        self.root.join(key.shard()).join(key.hex())
+    }
+
+    /// Path of one chunk shard.
+    pub fn chunk_path(&self, key: &Fingerprint, start: u64, end: u64) -> PathBuf {
+        self.unit_dir(key).join(format!("t{start:08}-{end:08}.json"))
+    }
+
+    /// Atomically persist one completed chunk.
+    pub fn write_chunk<R: Serialize>(
+        &self,
+        key: &Fingerprint,
+        start: u64,
+        end: u64,
+        results: &[R],
+    ) -> io::Result<()> {
+        debug_assert_eq!(results.len() as u64, end - start, "chunk length must match its range");
+        let body = Value::Map(vec![
+            ("key".to_string(), Value::Str(key.hex().to_string())),
+            ("start".to_string(), start.to_json_value()),
+            ("end".to_string(), end.to_json_value()),
+            (
+                "results".to_string(),
+                Value::Seq(results.iter().map(Serialize::to_json_value).collect()),
+            ),
+        ]);
+        let text = serde_json::to_string(&body).expect("chunk serialization");
+        self.write_atomic(&self.chunk_path(key, start, end), text.as_bytes())
+    }
+
+    /// Load one chunk if present and intact. Any defect — missing file,
+    /// bad JSON, wrong key/range, wrong result count, undecodable result —
+    /// deletes the shard and returns `None` so the caller recomputes it.
+    pub fn load_chunk<R: Deserialize>(
+        &self,
+        key: &Fingerprint,
+        start: u64,
+        end: u64,
+    ) -> Option<Vec<R>> {
+        let path = self.chunk_path(key, start, end);
+        let text = fs::read_to_string(&path).ok()?;
+        match Self::decode_chunk(&text, key, start, end) {
+            Some(results) => Some(results),
+            None => {
+                // Corrupt shard: discard so the slot is recomputed. A
+                // failed delete is harmless — the rewrite replaces it.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn decode_chunk<R: Deserialize>(
+        text: &str,
+        key: &Fingerprint,
+        start: u64,
+        end: u64,
+    ) -> Option<Vec<R>> {
+        let v: Value = serde_json::from_str(text).ok()?;
+        if v.get("key")?.as_str()? != key.hex() {
+            return None;
+        }
+        if v.get("start")?.as_u64()? != start || v.get("end")?.as_u64()? != end {
+            return None;
+        }
+        let results = v.get("results")?.as_seq()?;
+        if results.len() as u64 != end - start {
+            return None;
+        }
+        results.iter().map(|r| R::from_json_value(r).ok()).collect()
+    }
+
+    /// Record the human-readable spec of a unit next to its shards, once.
+    /// Purely informational (never read back), so failures are ignored by
+    /// callers.
+    pub fn write_spec_info(&self, key: &Fingerprint, spec_pretty: &str) -> io::Result<()> {
+        let path = self.unit_dir(key).join("spec.json");
+        if path.exists() {
+            return Ok(());
+        }
+        self.write_atomic(&path, spec_pretty.as_bytes())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().expect("store paths have parents");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::WorkSpec;
+    use serde_json::json;
+
+    fn tmp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("jle-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    fn key() -> Fingerprint {
+        Fingerprint::of(&WorkSpec::new("e0", "p", json!({"n": 1u64}), 0), "s", "f64")
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let store = tmp_store("roundtrip");
+        let k = key();
+        let data = vec![1.5f64, 2.0, 3.25];
+        store.write_chunk(&k, 0, 3, &data).unwrap();
+        assert_eq!(store.load_chunk::<f64>(&k, 0, 3).unwrap(), data);
+        // Wrong range: absent, and does not invent data.
+        assert!(store.load_chunk::<f64>(&k, 0, 4).is_none());
+    }
+
+    #[test]
+    fn truncated_shard_is_discarded_not_a_panic() {
+        let store = tmp_store("truncated");
+        let k = key();
+        store.write_chunk(&k, 0, 4, &[1.0f64, 2.0, 3.0, 4.0]).unwrap();
+        let path = store.chunk_path(&k, 0, 4);
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(store.load_chunk::<f64>(&k, 0, 4).is_none());
+        assert!(!path.exists(), "corrupt shard must be deleted");
+    }
+
+    #[test]
+    fn garbled_and_miskeyed_shards_are_discarded() {
+        let store = tmp_store("garbled");
+        let k = key();
+        let path = store.chunk_path(&k, 0, 2);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, b"not json at all {{{").unwrap();
+        assert!(store.load_chunk::<f64>(&k, 0, 2).is_none());
+        // A shard whose embedded key disagrees with its location.
+        store.write_chunk(&k, 0, 2, &[1.0f64, 2.0]).unwrap();
+        let text = fs::read_to_string(store.chunk_path(&k, 0, 2)).unwrap();
+        let other = Fingerprint::of(&WorkSpec::new("e9", "q", json!({"n": 2u64}), 9), "s", "f64");
+        let other_path = store.chunk_path(&other, 0, 2);
+        fs::create_dir_all(other_path.parent().unwrap()).unwrap();
+        fs::write(&other_path, &text).unwrap();
+        assert!(store.load_chunk::<f64>(&other, 0, 2).is_none());
+    }
+
+    #[test]
+    fn wrong_result_count_is_discarded() {
+        let store = tmp_store("count");
+        let k = key();
+        let path = store.chunk_path(&k, 0, 3);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(
+            &path,
+            format!(r#"{{"key":"{}","start":0,"end":3,"results":[1.0,2.0]}}"#, k.hex()),
+        )
+        .unwrap();
+        assert!(store.load_chunk::<f64>(&k, 0, 3).is_none());
+    }
+
+    #[test]
+    fn spec_info_written_once() {
+        let store = tmp_store("spec");
+        let k = key();
+        store.write_spec_info(&k, "{\"a\":1}").unwrap();
+        store.write_spec_info(&k, "{\"b\":2}").unwrap();
+        let text = fs::read_to_string(store.unit_dir(&k).join("spec.json")).unwrap();
+        assert_eq!(text, "{\"a\":1}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Live run telemetry: counters, the [`Reporter`] trait, and its stderr
+//! progress + JSONL run-log implementations.
+//!
+//! The scheduler emits structured [`Event`]s at run, experiment, unit,
+//! and chunk granularity; reporters render them. Counters live in a
+//! shared [`Stats`] so the CLI can print (and CI can assert on) totals —
+//! most importantly `executed_trials == 0` for a fully warm cache.
+
+use serde::{Serialize, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Monotonic run counters, shared between the scheduler and the CLI.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Trials requested across all submitted units.
+    pub planned_trials: AtomicU64,
+    /// Trials actually simulated this run.
+    pub executed_trials: AtomicU64,
+    /// Trials served from the cache.
+    pub cached_trials: AtomicU64,
+    /// Chunk-granularity cache hits.
+    pub chunk_hits: AtomicU64,
+    /// Chunk-granularity cache misses.
+    pub chunk_misses: AtomicU64,
+    /// Channel slots simulated by executed trials (see
+    /// [`jle_engine::SlotCost`]).
+    pub simulated_slots: AtomicU64,
+    /// Work units submitted.
+    pub units: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`], serializable into the run log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StatsSnapshot {
+    /// Trials requested across all submitted units.
+    pub planned_trials: u64,
+    /// Trials actually simulated this run.
+    pub executed_trials: u64,
+    /// Trials served from the cache.
+    pub cached_trials: u64,
+    /// Chunk-granularity cache hits.
+    pub chunk_hits: u64,
+    /// Chunk-granularity cache misses.
+    pub chunk_misses: u64,
+    /// Channel slots simulated by executed trials.
+    pub simulated_slots: u64,
+    /// Work units submitted.
+    pub units: u64,
+}
+
+impl Stats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            planned_trials: self.planned_trials.load(Ordering::Relaxed),
+            executed_trials: self.executed_trials.load(Ordering::Relaxed),
+            cached_trials: self.cached_trials.load(Ordering::Relaxed),
+            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
+            chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
+            simulated_slots: self.simulated_slots.load(Ordering::Relaxed),
+            units: self.units.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One telemetry event. Borrowed fields keep emission allocation-free on
+/// the scheduler's hot path.
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// A scheduler came up; `jobs` is the effective worker parallelism.
+    RunStarted {
+        /// Effective worker-thread count.
+        jobs: usize,
+    },
+    /// The CLI started one experiment.
+    ExperimentStarted {
+        /// Experiment id, e.g. `"e1"`.
+        id: &'a str,
+    },
+    /// The CLI finished one experiment.
+    ExperimentFinished {
+        /// Experiment id.
+        id: &'a str,
+        /// Wall-clock seconds the experiment took.
+        wall_secs: f64,
+    },
+    /// A work unit was submitted; `cached_trials` of its `trials` were
+    /// served from the store up front.
+    UnitStarted {
+        /// Experiment id.
+        experiment: &'a str,
+        /// Sweep-point label.
+        point: &'a str,
+        /// Content-addressed cache key (hex).
+        key: &'a str,
+        /// Total trials in the unit.
+        trials: u64,
+        /// Trials already satisfied by the cache.
+        cached_trials: u64,
+    },
+    /// One chunk of a unit finished simulating (never emitted for cached
+    /// chunks).
+    ChunkFinished {
+        /// Experiment id.
+        experiment: &'a str,
+        /// Sweep-point label.
+        point: &'a str,
+        /// Trial range `[start, end)` of the chunk.
+        start: u64,
+        /// End of the trial range.
+        end: u64,
+        /// Channel slots simulated by this chunk.
+        slots: u64,
+        /// Trials per second over the unit's executed portion so far.
+        trials_per_sec: f64,
+        /// Slots per second over the unit's executed portion so far.
+        slots_per_sec: f64,
+        /// Estimated seconds until the unit completes.
+        eta_secs: f64,
+    },
+    /// A work unit completed (all trials available).
+    UnitFinished {
+        /// Experiment id.
+        experiment: &'a str,
+        /// Sweep-point label.
+        point: &'a str,
+        /// Content-addressed cache key (hex).
+        key: &'a str,
+        /// Trials simulated now.
+        executed_trials: u64,
+        /// Trials served from the cache.
+        cached_trials: u64,
+        /// Channel slots simulated now.
+        slots: u64,
+        /// Wall-clock seconds for the unit.
+        wall_secs: f64,
+    },
+    /// Whole-run totals (emitted by the CLI at exit).
+    RunSummary {
+        /// Counter totals.
+        stats: StatsSnapshot,
+        /// Wall-clock seconds since the scheduler came up.
+        wall_secs: f64,
+    },
+}
+
+impl Event<'_> {
+    /// Render the event as a JSON value (for the JSONL run log).
+    pub fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = Vec::new();
+        let mut put = |k: &str, v: Value| m.push((k.to_string(), v));
+        match *self {
+            Event::RunStarted { jobs } => {
+                put("ev", Value::Str("run_started".into()));
+                put("jobs", (jobs as u64).to_json_value());
+            }
+            Event::ExperimentStarted { id } => {
+                put("ev", Value::Str("experiment_started".into()));
+                put("id", Value::Str(id.into()));
+            }
+            Event::ExperimentFinished { id, wall_secs } => {
+                put("ev", Value::Str("experiment_finished".into()));
+                put("id", Value::Str(id.into()));
+                put("wall_secs", wall_secs.to_json_value());
+            }
+            Event::UnitStarted { experiment, point, key, trials, cached_trials } => {
+                put("ev", Value::Str("unit_started".into()));
+                put("experiment", Value::Str(experiment.into()));
+                put("point", Value::Str(point.into()));
+                put("key", Value::Str(key.into()));
+                put("trials", trials.to_json_value());
+                put("cached_trials", cached_trials.to_json_value());
+            }
+            Event::ChunkFinished {
+                experiment,
+                point,
+                start,
+                end,
+                slots,
+                trials_per_sec,
+                slots_per_sec,
+                eta_secs,
+            } => {
+                put("ev", Value::Str("chunk_finished".into()));
+                put("experiment", Value::Str(experiment.into()));
+                put("point", Value::Str(point.into()));
+                put("start", start.to_json_value());
+                put("end", end.to_json_value());
+                put("slots", slots.to_json_value());
+                put("trials_per_sec", trials_per_sec.to_json_value());
+                put("slots_per_sec", slots_per_sec.to_json_value());
+                put("eta_secs", eta_secs.to_json_value());
+            }
+            Event::UnitFinished {
+                experiment,
+                point,
+                key,
+                executed_trials,
+                cached_trials,
+                slots,
+                wall_secs,
+            } => {
+                put("ev", Value::Str("unit_finished".into()));
+                put("experiment", Value::Str(experiment.into()));
+                put("point", Value::Str(point.into()));
+                put("key", Value::Str(key.into()));
+                put("executed_trials", executed_trials.to_json_value());
+                put("cached_trials", cached_trials.to_json_value());
+                put("slots", slots.to_json_value());
+                put("wall_secs", wall_secs.to_json_value());
+            }
+            Event::RunSummary { stats, wall_secs } => {
+                put("ev", Value::Str("run_summary".into()));
+                put("stats", stats.to_json_value());
+                put("wall_secs", wall_secs.to_json_value());
+            }
+        }
+        Value::Map(m)
+    }
+}
+
+/// Sink for telemetry events.
+pub trait Reporter: Send + Sync {
+    /// Handle one event.
+    fn report(&self, event: &Event<'_>);
+}
+
+/// Throttled human-readable progress on stderr.
+///
+/// Chunk lines are rate-limited; unit/experiment/summary lines always
+/// print. Quiet for fully cached work (zero executed trials) so warm
+/// reruns don't scroll.
+pub struct StderrProgress {
+    min_interval: Duration,
+    last_chunk_line: Mutex<Option<Instant>>,
+}
+
+impl StderrProgress {
+    /// A reporter printing at most one chunk line per `min_interval`.
+    pub fn new(min_interval: Duration) -> Self {
+        StderrProgress { min_interval, last_chunk_line: Mutex::new(None) }
+    }
+
+    fn chunk_line_due(&self) -> bool {
+        let mut last = self.last_chunk_line.lock().expect("progress clock");
+        let now = Instant::now();
+        match *last {
+            Some(t) if now.duration_since(t) < self.min_interval => false,
+            _ => {
+                *last = Some(now);
+                true
+            }
+        }
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new(Duration::from_millis(250))
+    }
+}
+
+/// `1234567.0 → "1.2M"` — compact rate rendering for progress lines.
+fn human(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".into();
+    }
+    let (scaled, suffix) = if x >= 1e9 {
+        (x / 1e9, "G")
+    } else if x >= 1e6 {
+        (x / 1e6, "M")
+    } else if x >= 1e3 {
+        (x / 1e3, "k")
+    } else {
+        (x, "")
+    };
+    if suffix.is_empty() {
+        format!("{scaled:.0}")
+    } else {
+        format!("{scaled:.1}{suffix}")
+    }
+}
+
+impl Reporter for StderrProgress {
+    fn report(&self, event: &Event<'_>) {
+        match *event {
+            Event::RunStarted { jobs } => {
+                eprintln!("orchestrator: {jobs} worker thread(s)");
+            }
+            Event::ExperimentStarted { .. } => {}
+            Event::ExperimentFinished { id, wall_secs } => {
+                eprintln!("{id}: done in {wall_secs:.1}s");
+            }
+            Event::UnitStarted { .. } => {}
+            Event::ChunkFinished {
+                experiment,
+                point,
+                end,
+                trials_per_sec,
+                slots_per_sec,
+                eta_secs,
+                ..
+            } => {
+                if self.chunk_line_due() {
+                    eprintln!(
+                        "[{experiment} {point}] {end} trials · {}/s · {} slots/s · ETA {eta_secs:.1}s",
+                        human(trials_per_sec),
+                        human(slots_per_sec),
+                    );
+                }
+            }
+            Event::UnitFinished {
+                experiment,
+                point,
+                executed_trials,
+                cached_trials,
+                slots,
+                wall_secs,
+                ..
+            } => {
+                if executed_trials > 0 {
+                    eprintln!(
+                        "[{experiment} {point}] {executed_trials} trials run \
+                         ({cached_trials} cached) · {} slots · {wall_secs:.1}s",
+                        human(slots as f64),
+                    );
+                }
+            }
+            Event::RunSummary { stats, wall_secs } => {
+                let total = stats.executed_trials + stats.cached_trials;
+                let hit = if stats.chunk_hits + stats.chunk_misses > 0 {
+                    100.0 * stats.chunk_hits as f64 / (stats.chunk_hits + stats.chunk_misses) as f64
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "orchestrator summary: {} of {total} trials executed, {} cached \
+                     (chunk hit rate {hit:.1}%), {} slots simulated, {wall_secs:.1}s",
+                    stats.executed_trials,
+                    stats.cached_trials,
+                    human(stats.simulated_slots as f64),
+                );
+            }
+        }
+    }
+}
+
+/// Structured JSONL run log: one event object per line, each stamped with
+/// milliseconds since the Unix epoch. Lines are flushed as written so a
+/// killed run keeps its log.
+pub struct JsonlReporter {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlReporter {
+    /// Append to (creating if needed) the log at `path`.
+    pub fn append(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        if let Some(dir) = path.as_ref().parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlReporter { out: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+}
+
+impl Reporter for JsonlReporter {
+    fn report(&self, event: &Event<'_>) {
+        let mut v = match event.to_value() {
+            Value::Map(m) => m,
+            other => vec![("ev".to_string(), other)],
+        };
+        let t_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        v.insert(0, ("t_ms".to_string(), t_ms.to_json_value()));
+        let line = serde_json::to_string(&Value::Map(v)).expect("event serialization");
+        let mut out = self.out.lock().expect("run log writer");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = Stats::default();
+        s.add(&s.executed_trials, 5);
+        s.add(&s.chunk_hits, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.executed_trials, 5);
+        assert_eq!(snap.chunk_hits, 2);
+        assert_eq!(snap.cached_trials, 0);
+    }
+
+    #[test]
+    fn events_render_to_tagged_objects() {
+        let ev = Event::UnitStarted {
+            experiment: "e1",
+            point: "p",
+            key: "ab",
+            trials: 10,
+            cached_trials: 4,
+        };
+        let v = ev.to_value();
+        assert_eq!(v.get("ev").unwrap().as_str().unwrap(), "unit_started");
+        assert_eq!(v.get("trials").unwrap().as_u64().unwrap(), 10);
+        let summary = Event::RunSummary { stats: StatsSnapshot::default(), wall_secs: 0.5 };
+        let line = serde_json::to_string(&summary.to_value()).unwrap();
+        assert!(line.contains("\"run_summary\""));
+        assert!(line.contains("\"executed_trials\":0"));
+    }
+
+    #[test]
+    fn jsonl_reporter_appends_lines() {
+        let path =
+            std::env::temp_dir().join(format!("jle-telemetry-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let r = JsonlReporter::append(&path).unwrap();
+        r.report(&Event::RunStarted { jobs: 4 });
+        r.report(&Event::ExperimentStarted { id: "e1" });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"run_started\""));
+        assert!(lines[0].contains("\"t_ms\""));
+        assert!(lines[1].contains("\"experiment_started\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn human_rates() {
+        assert_eq!(human(12.0), "12");
+        assert_eq!(human(1_200.0), "1.2k");
+        assert_eq!(human(3_400_000.0), "3.4M");
+        assert_eq!(human(2.5e9), "2.5G");
+        assert_eq!(human(f64::INFINITY), "-");
+    }
+}

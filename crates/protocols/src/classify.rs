@@ -40,6 +40,12 @@ pub struct SlotTaxonomy {
     pub single_count: u64,
 }
 
+impl jle_engine::SlotCost for SlotTaxonomy {
+    fn simulated_slots(&self) -> u64 {
+        self.total()
+    }
+}
+
 impl SlotTaxonomy {
     /// Total classified slots.
     pub fn total(&self) -> u64 {

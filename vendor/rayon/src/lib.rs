@@ -1,15 +1,113 @@
 //! Offline vendor shim for the subset of `rayon` this workspace uses:
-//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`.
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`, plus an explicit
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] pair for sizing the
+//! parallelism of a region (the `--jobs N` plumbing).
 //!
 //! Implemented as a chunked fan-out over `std::thread::scope`. Order is
 //! preserved (chunk `i` writes slot `i` of the output), and a panic in any
 //! worker is re-raised on the calling thread via `resume_unwind`, matching
-//! rayon's propagation semantics.
+//! rayon's propagation semantics. `ThreadPool::install` sets a
+//! thread-local worker-count override for the duration of the closure —
+//! parallel iterators started inside it fan out to exactly that many
+//! workers, mirroring real rayon's pool-scoped execution.
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
+
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// current thread; `None` means "use all available parallelism".
+    static POOL_WORKERS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel iterator started on this thread
+/// would use (the installed pool's size, or available parallelism).
+pub fn current_num_threads() -> usize {
+    POOL_WORKERS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+/// Error building a [`ThreadPool`] (kept for API parity with real rayon;
+/// the shim's `build` never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request exactly `n` worker threads; `0` keeps the automatic count,
+    /// matching real rayon's convention.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the shim; the `Result` mirrors real
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// An explicitly sized pool. The shim spawns scoped threads per parallel
+/// call rather than keeping workers alive, so the pool is just a recorded
+/// width applied via [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the previous override when an `install` region exits, even by
+/// panic.
+struct InstallGuard(Option<usize>);
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        POOL_WORKERS.with(|w| w.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads this pool fans out to.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's width governing any parallel iterators it
+    /// starts (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_WORKERS.with(|w| w.replace(Some(self.threads)));
+        let _guard = InstallGuard(prev);
+        op()
+    }
 }
 
 /// Conversion into a parallel iterator (materializes the source).
@@ -93,7 +191,7 @@ fn run_chunked<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> 
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = current_num_threads().min(n);
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -146,6 +244,40 @@ mod tests {
     fn vec_source() {
         let v: Vec<String> = vec![1, 2, 3].into_par_iter().map(|i: i32| format!("{i}")).collect();
         assert_eq!(v, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn sized_pool_limits_workers() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let distinct = pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            let ids: Vec<String> = (0u64..64)
+                .into_par_iter()
+                .map(|_| format!("{:?}", std::thread::current().id()))
+                .collect();
+            let mut uniq = ids.clone();
+            uniq.sort();
+            uniq.dedup();
+            uniq.len()
+        });
+        assert!(distinct <= 2, "2-thread pool used {distinct} workers");
+        // The override does not leak out of the install region.
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_override_on_panic() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(999_983).build().unwrap();
+        let r = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(r.is_err());
+        assert_ne!(crate::current_num_threads(), 999_983);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 
     #[test]

@@ -267,6 +267,66 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+            self.3.to_json_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) if xs.len() == 4 => Ok((
+                A::from_json_value(&xs[0])?,
+                B::from_json_value(&xs[1])?,
+                C::from_json_value(&xs[2])?,
+                D::from_json_value(&xs[3])?,
+            )),
+            other => {
+                Err(Error::custom(format!("expected 4-element array, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize, E: Serialize> Serialize
+    for (A, B, C, D, E)
+{
+    fn to_json_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+            self.3.to_json_value(),
+            self.4.to_json_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize, E: Deserialize> Deserialize
+    for (A, B, C, D, E)
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) if xs.len() == 5 => Ok((
+                A::from_json_value(&xs[0])?,
+                B::from_json_value(&xs[1])?,
+                C::from_json_value(&xs[2])?,
+                D::from_json_value(&xs[3])?,
+                E::from_json_value(&xs[4])?,
+            )),
+            other => {
+                Err(Error::custom(format!("expected 5-element array, found {}", other.kind())))
+            }
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {
         self.clone()
