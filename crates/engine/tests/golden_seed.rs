@@ -1,0 +1,310 @@
+//! Golden-seed regression suite: locks the exact bit-level behavior of all
+//! engine entry points (`run_exact`, `run_cohort`, `run_exact_faulty`, and
+//! the oracle negative control) across the three CD models under a jamming
+//! adversary.
+//!
+//! The fixtures under `tests/golden/` were generated from the pre-refactor
+//! engines (the three independent slot loops) and must remain byte-for-byte
+//! reproducible by any future engine: the serialized `RunReport` plus an
+//! FNV-1a digest of the full trace pins the per-slot RNG draw order
+//! (adversary decide → station draws in index order → noise Bernoulli →
+//! cohort winner draw) and every report-finalization rule.
+//!
+//! Regenerate (only when an intentional behavior change is being made, with
+//! an explanation in the commit): `UPDATE_GOLDEN=1 cargo test -p jle-engine
+//! --test golden_seed`.
+
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{
+    run_cohort, run_cohort_against_oracle, run_exact, run_exact_faulty, FaultPlan, PerStation,
+    RunReport, SimConfig, StationFaults, StopRule, UniformProtocol,
+};
+use jle_radio::{CdModel, ChannelState};
+use std::path::PathBuf;
+
+const MAX_SLOTS: u64 = 4_000;
+const SEED: u64 = 0xA11CE;
+
+/// Fixed-probability uniform protocol (memoryless).
+#[derive(Debug, Clone)]
+struct Fixed(f64);
+
+impl UniformProtocol for Fixed {
+    fn tx_prob(&mut self, _: u64) -> f64 {
+        self.0
+    }
+    fn on_state(&mut self, _: u64, _: ChannelState) {}
+}
+
+/// History-dependent backoff in the LESK mold: exercises `on_state` on
+/// every channel state, a non-trivial `estimate()` for trace recording,
+/// and probabilities that sweep through the binomial sampler's regimes.
+#[derive(Debug, Clone)]
+struct Backoff {
+    u: f64,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { u: 0.0 }
+    }
+}
+
+impl UniformProtocol for Backoff {
+    fn tx_prob(&mut self, _: u64) -> f64 {
+        2f64.powf(-self.u)
+    }
+    fn on_state(&mut self, _: u64, state: ChannelState) {
+        match state {
+            ChannelState::Null => self.u = (self.u - 1.0).max(0.0),
+            ChannelState::Collision => self.u += 0.5,
+            ChannelState::Single => {}
+        }
+    }
+    fn estimate(&self) -> Option<f64> {
+        Some(self.u)
+    }
+}
+
+/// Stops via `finished()` after a fixed number of observed slots.
+#[derive(Debug, Clone)]
+struct CountDown(u32);
+
+impl UniformProtocol for CountDown {
+    fn tx_prob(&mut self, _: u64) -> f64 {
+        0.0
+    }
+    fn on_state(&mut self, _: u64, _: ChannelState) {
+        self.0 -= 1;
+    }
+    fn finished(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// FNV-1a (64-bit), the digest pinning trace content.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn push_all(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push(b);
+        }
+    }
+}
+
+/// Render report + trace digest as one canonical JSON line.
+fn snapshot(report: &RunReport) -> String {
+    let body = serde_json::to_string(report).expect("RunReport serializes");
+    let trace = match &report.trace {
+        None => "null".to_string(),
+        Some(t) => {
+            let mut h = Fnv::new();
+            for s in t.iter() {
+                let code = match s.state() {
+                    ChannelState::Null => 0u8,
+                    ChannelState::Single => 1,
+                    ChannelState::Collision => 2,
+                };
+                let b = code
+                    | (u8::from(s.jammed()) << 2)
+                    | (u8::from(s.clean_single()) << 3)
+                    | (u8::from(s.any_transmitter()) << 4);
+                h.push(b);
+            }
+            for &e in &t.estimates {
+                h.push_all(&e.to_bits().to_le_bytes());
+            }
+            format!(
+                "{{\"len\":{},\"estimates\":{},\"digest\":\"{:016x}\"}}",
+                t.len(),
+                t.estimates.len(),
+                h.0
+            )
+        }
+    };
+    format!("{{\"report\":{body},\"trace\":{trace}}}\n")
+}
+
+/// Compare against (or, under `UPDATE_GOLDEN=1`, rewrite) the fixture.
+fn check(name: &str, report: &RunReport) {
+    let actual = snapshot(report);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden");
+    let path = dir.join(format!("{name}.json"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path:?} ({e}); regenerate with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(actual, expected, "golden-seed mismatch for `{name}`");
+}
+
+/// The budget-saturating jammer: deterministic given the budget.
+fn saturating() -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Saturating)
+}
+
+/// Oblivious random jammer: draws from the adversary RNG every slot, so
+/// these fixtures also pin the adversary seed-stream separation.
+fn random_jammer() -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Random { prob: 0.7 })
+}
+
+fn exact_config(cd: CdModel) -> SimConfig {
+    SimConfig::new(12, cd).with_seed(SEED).with_max_slots(MAX_SLOTS).with_trace(true)
+}
+
+fn cohort_config(cd: CdModel) -> SimConfig {
+    SimConfig::new(64, cd).with_seed(SEED).with_max_slots(MAX_SLOTS).with_trace(true)
+}
+
+// ---------------------------------------------------------------- exact --
+
+#[test]
+fn golden_exact_strong() {
+    let r = run_exact(&exact_config(CdModel::Strong), &saturating(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("exact_strong", &r);
+}
+
+#[test]
+fn golden_exact_strong_noise() {
+    let config = exact_config(CdModel::Strong).with_noise(0.01);
+    let r = run_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
+    check("exact_strong_noise", &r);
+}
+
+#[test]
+fn golden_exact_weak_random_jammer() {
+    let r = run_exact(&exact_config(CdModel::Weak), &random_jammer(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("exact_weak_random_jammer", &r);
+}
+
+#[test]
+fn golden_exact_nocd() {
+    let r = run_exact(&exact_config(CdModel::NoCd), &saturating(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("exact_nocd", &r);
+}
+
+#[test]
+fn golden_exact_weak_cap() {
+    // Weak-CD winners never learn, so `AllTerminated` never fires: the run
+    // walks the full 1500-slot horizon, cycling the jam budget window ~90
+    // times and drawing station randomness every slot — the long-run
+    // fixture pinning steady-state loop behavior.
+    let config = exact_config(CdModel::Weak)
+        .with_max_slots(1_500)
+        .with_stop(StopRule::AllTerminated);
+    let r = run_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
+    check("exact_weak_cap", &r);
+}
+
+#[test]
+fn golden_exact_all_terminated() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::AllTerminated);
+    let r = run_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
+    check("exact_all_terminated", &r);
+}
+
+// --------------------------------------------------------------- cohort --
+
+#[test]
+fn golden_cohort_strong() {
+    let r = run_cohort(&cohort_config(CdModel::Strong), &saturating(), Backoff::new);
+    check("cohort_strong", &r);
+}
+
+#[test]
+fn golden_cohort_weak_random_jammer() {
+    let r = run_cohort(&cohort_config(CdModel::Weak), &random_jammer(), Backoff::new);
+    check("cohort_weak_random_jammer", &r);
+}
+
+#[test]
+fn golden_cohort_nocd() {
+    let r = run_cohort(&cohort_config(CdModel::NoCd), &saturating(), Backoff::new);
+    check("cohort_nocd", &r);
+}
+
+#[test]
+fn golden_cohort_noise() {
+    let config = cohort_config(CdModel::Strong).with_noise(0.01);
+    let r = run_cohort(&config, &saturating(), Backoff::new);
+    check("cohort_noise", &r);
+}
+
+#[test]
+fn golden_cohort_continue_past_singles() {
+    let config = cohort_config(CdModel::Strong).with_max_slots(512).with_continue_past_singles(true);
+    let r = run_cohort(&config, &saturating(), Backoff::new);
+    check("cohort_continue_past_singles", &r);
+}
+
+#[test]
+fn golden_cohort_finished_protocol() {
+    let config = cohort_config(CdModel::Strong);
+    let r = run_cohort(&config, &AdversarySpec::passive(), || CountDown(9));
+    check("cohort_finished_protocol", &r);
+}
+
+// --------------------------------------------------------------- faulty --
+
+/// A plan exercising every fault kind at once.
+fn stress_plan() -> FaultPlan {
+    FaultPlan::new(3)
+        .with_station(1, StationFaults::none().crash_with_recovery(6, 60))
+        .with_station(2, StationFaults::none().wake_at(3))
+        .with_station(3, StationFaults::none().deaf_between(2, 30))
+        .with_station(4, StationFaults::none().flip_prob(0.2))
+        .with_station(5, StationFaults::none().crash(10))
+}
+
+#[test]
+fn golden_faulty_strong() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::AllTerminated);
+    let r = run_exact_faulty(&config, &saturating(), &stress_plan(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("faulty_strong", &r);
+}
+
+#[test]
+fn golden_faulty_weak() {
+    let r = run_exact_faulty(&exact_config(CdModel::Weak), &saturating(), &stress_plan(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("faulty_weak", &r);
+}
+
+#[test]
+fn golden_faulty_nocd() {
+    let r =
+        run_exact_faulty(&exact_config(CdModel::NoCd), &random_jammer(), &stress_plan(), |_| {
+            Box::new(PerStation::new(Backoff::new()))
+        });
+    check("faulty_nocd", &r);
+}
+
+// --------------------------------------------------------------- oracle --
+
+#[test]
+fn golden_oracle_strong() {
+    let config = SimConfig::new(16, CdModel::Strong).with_seed(SEED).with_max_slots(2_000);
+    let r = run_cohort_against_oracle(&config, Rate::from_f64(0.05), 16, || Fixed(1.0 / 16.0));
+    check("oracle_strong", &r);
+}
