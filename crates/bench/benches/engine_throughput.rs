@@ -1,9 +1,18 @@
 //! Criterion: per-slot simulation cost — cohort (n-independent) vs exact
 //! (O(n) per slot). Counterpart of experiment E15(b).
+//!
+//! Each engine is measured twice: `fresh` allocates every run (the plain
+//! `run_*` shims), `arena` reuses one [`SimArena`] across iterations
+//! (`run_*_in`). The arena must be no slower on the cohort engine (it has
+//! almost nothing to reuse) and faster on the exact engine, whose per-run
+//! station/buffer allocations the arena amortizes away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
-use jle_engine::{run_cohort, run_exact, PerStation, SimConfig, UniformProtocol};
+use jle_engine::{
+    run_cohort, run_cohort_in, run_exact, run_exact_in, PerStation, SimArena, SimConfig,
+    UniformProtocol,
+};
 use jle_radio::{CdModel, ChannelState};
 use std::hint::black_box;
 
@@ -15,6 +24,9 @@ impl UniformProtocol for AlwaysCollide {
         1.0
     }
     fn on_state(&mut self, _: u64, _: ChannelState) {}
+    fn reset(&mut self) -> bool {
+        true // stateless: the arena can recycle the station boxes
+    }
 }
 
 fn sat() -> AdversarySpec {
@@ -27,11 +39,19 @@ fn bench_cohort(c: &mut Criterion) {
     group.throughput(Throughput::Elements(SLOTS));
     for k in [10u32, 16, 20] {
         let n = 1u64 << k;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, &n| {
             let adv = sat();
             b.iter(|| {
                 let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
                 black_box(run_cohort(&config, &adv, || AlwaysCollide))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, &n| {
+            let adv = sat();
+            let mut arena = SimArena::new();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_cohort_in(&config, &adv, || AlwaysCollide, &mut arena))
             })
         });
     }
@@ -44,11 +64,63 @@ fn bench_exact(c: &mut Criterion) {
     group.throughput(Throughput::Elements(SLOTS));
     for k in [6u32, 8, 10] {
         let n = 1u64 << k;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, &n| {
             let adv = sat();
             b.iter(|| {
                 let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
                 black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, &n| {
+            let adv = sat();
+            let mut arena = SimArena::new();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_exact_in(
+                    &config,
+                    &adv,
+                    |_| Box::new(PerStation::new(AlwaysCollide)),
+                    &mut arena,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_short(c: &mut Criterion) {
+    // Election-scale runs: a jammed election resolves in tens of slots,
+    // so Monte-Carlo loops run *short* exact simulations back to back and
+    // per-run setup — n station boxes allocated, initialized, and dropped,
+    // plus the flag buffers and history ring — is a real fraction of the
+    // work. This is the regime the arena exists for: `AlwaysCollide` is
+    // resettable, so the arena arm recycles every station box in place
+    // (allocation-free steady state). The long-run groups above only have
+    // to show the arena is never slower.
+    let mut group = c.benchmark_group("exact_short_runs");
+    const SLOTS: u64 = 16;
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(SLOTS));
+    for k in [8u32, 10] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, &n| {
+            let adv = sat();
+            let mut arena = SimArena::new();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_exact_in(
+                    &config,
+                    &adv,
+                    |_| Box::new(PerStation::new(AlwaysCollide)),
+                    &mut arena,
+                ))
             })
         });
     }
@@ -58,6 +130,6 @@ fn bench_exact(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_cohort, bench_exact
+    targets = bench_cohort, bench_exact, bench_exact_short
 }
 criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! The cohort simulator: O(1) work per slot for uniform protocols.
+//! The cohort backend: O(1) work per slot for uniform protocols.
 //!
 //! The paper's protocols are *uniform* (Section 1.1): every station
 //! transmits with the same, history-determined probability. All stations
 //! therefore share one state, and the number of transmitters in a slot is
-//! `Binomial(n, p)` — the simulator tracks a single protocol copy and
+//! `Binomial(n, p)` — the backend tracks a single protocol copy and
 //! samples the transmitter count directly, making per-slot cost
 //! independent of `n`. This is what lets experiments sweep to `n = 2^20`
 //! and beyond.
@@ -15,16 +15,21 @@
 //! `DESIGN.md` §4). Under strong-CD everyone sees the truth. Under no-CD
 //! the engine collapses `Null` to `Collision` (listeners cannot tell) and
 //! the same argument applies.
+//!
+//! The slot loop lives in [`crate::core::SimCore`]; [`CohortStations`]
+//! supplies the binomial sampling and shared-state feedback, and the
+//! `run_cohort*` functions are thin shims. The oracle negative control is
+//! the same backend driven by [`SimCore::oracle`]'s action-observing
+//! jammer.
 
 use crate::config::SimConfig;
+use crate::core::{SimArena, SimCore, SlotActions, StationSet};
 use crate::protocol::UniformProtocol;
-use crate::report::{EnergyStats, RunReport};
+use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
-use jle_radio::{CdModel, ChannelHistory, ChannelState, SlotTruth, Trace};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
+use jle_radio::{CdModel, ChannelState, SlotTruth};
+use rand::{rngs::SmallRng, Rng};
 use rand_distr::{Binomial, Distribution};
-
-const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Sample the number of transmitters among `n` stations each transmitting
 /// independently with probability `p`.
@@ -50,6 +55,100 @@ pub fn sample_transmitters(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
     Binomial::new(n, p).expect("p validated").sample(rng)
 }
 
+/// The uniform-protocol [`StationSet`] backend: one shared protocol state,
+/// binomial transmitter counts, and a uniformly drawn winner on the
+/// resolving `Single` (the stations are symmetric, so the lone transmitter
+/// is uniform among them).
+#[derive(Debug)]
+pub struct CohortStations<U> {
+    proto: U,
+    claim_leader: bool,
+}
+
+impl<U: UniformProtocol> CohortStations<U> {
+    /// Wrap a uniform protocol state.
+    pub fn new(proto: U) -> Self {
+        CohortStations { proto, claim_leader: true }
+    }
+
+    /// Like [`CohortStations::new`], but the resolving transmitter never
+    /// claims leadership in the report — used for the oracle negative
+    /// control, which measures suppression, not elections.
+    pub fn without_leader_claim(proto: U) -> Self {
+        CohortStations { proto, claim_leader: false }
+    }
+
+    /// Recover the wrapped protocol state after the run.
+    pub fn into_inner(self) -> U {
+        self.proto
+    }
+}
+
+impl<U: UniformProtocol> StationSet for CohortStations<U> {
+    fn finished(&self) -> bool {
+        self.proto.finished()
+    }
+
+    fn act(&mut self, slot: u64, config: &SimConfig, rng: &mut SmallRng) -> SlotActions {
+        let p = self.proto.tx_prob(slot);
+        let k = sample_transmitters(config.n, p, rng);
+        SlotActions { transmitters: k, listeners: config.n - k, lone_transmitter: None }
+    }
+
+    fn pick_winner(
+        &mut self,
+        _actions: &SlotActions,
+        config: &SimConfig,
+        rng: &mut SmallRng,
+    ) -> Option<u64> {
+        // The winner is uniform among the n symmetric stations.
+        Some(rng.gen_range(0..config.n))
+    }
+
+    fn feedback(&mut self, slot: u64, truth: &SlotTruth, config: &SimConfig) {
+        if truth.is_clean_single() && !config.continue_past_singles {
+            // The run ends on this slot; the shared state never hears it.
+            return;
+        }
+        let state = match (config.cd, truth.observed()) {
+            (CdModel::NoCd, ChannelState::Null) => ChannelState::Collision,
+            (_, s) => s,
+        };
+        debug_assert!(
+            state != ChannelState::Single || config.continue_past_singles,
+            "clean Single already handled"
+        );
+        self.proto.on_state(slot, state);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.proto.estimate()
+    }
+
+    fn should_stop(
+        &mut self,
+        truth: &SlotTruth,
+        config: &SimConfig,
+        _report: &mut RunReport,
+    ) -> bool {
+        truth.is_clean_single() && !config.continue_past_singles
+    }
+
+    fn finalize(&mut self, config: &SimConfig, report: &mut RunReport) {
+        if let Some(w) = report.winner {
+            if self.claim_leader && config.cd == CdModel::Strong {
+                // Strong-CD: the resolving transmitter saw its own Single.
+                report.leaders = vec![w];
+                report.all_terminated = true;
+            }
+        }
+        report.timed_out = report.resolved_at.is_none()
+            && !self.proto.finished()
+            && report.slots == config.max_slots;
+        report.cap_hit = report.timed_out;
+    }
+}
+
 /// Run a uniform protocol on the cohort engine.
 ///
 /// Measures selection resolution: the run ends at the first unjammed
@@ -73,86 +172,21 @@ pub fn run_cohort_with<U: UniformProtocol>(
     adversary: &AdversarySpec,
     factory: impl FnOnce() -> U,
 ) -> (RunReport, U) {
-    assert!(config.n >= 1, "need at least one station");
-    let mut proto = factory();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut adv_rng = SmallRng::seed_from_u64(config.seed ^ ADV_SEED_XOR);
-    let mut strategy = adversary.strategy();
-    let mut budget = adversary.budget();
-    let mut history = ChannelHistory::new(config.effective_retention(adversary.t_window));
-    let mut trace =
-        config.record_trace.then(|| Trace::with_capacity(config.max_slots.min(1 << 20) as usize));
-    let mut energy = EnergyStats::default();
-    let mut report = RunReport::default();
+    let mut stations = CohortStations::new(factory());
+    let report = SimCore::new(config, adversary).run(&mut stations);
+    (report, stations.into_inner())
+}
 
-    for slot in 0..config.max_slots {
-        if proto.finished() {
-            break;
-        }
-        // 1. Adversary commits before the stations draw.
-        let want = strategy.decide(&history, &budget, &mut adv_rng);
-        let jam = want && budget.can_jam();
-        budget.advance(jam);
-
-        // 2. Transmitter count, plus unbudgeted environmental noise.
-        let p = proto.tx_prob(slot);
-        let k = sample_transmitters(config.n, p, &mut rng);
-        let noisy = config.noise_prob > 0.0 && rng.gen_bool(config.noise_prob);
-        if noisy {
-            report.noise_slots += 1;
-        }
-        let truth = SlotTruth::new(k, jam || noisy);
-        energy.transmissions += k;
-        energy.listens += config.n - k;
-
-        // 3. Record.
-        if let Some(tr) = trace.as_mut() {
-            match proto.estimate() {
-                Some(u) => tr.push_with_estimate(&truth, u),
-                None => tr.push(&truth),
-            }
-        }
-        history.push(&truth);
-        report.slots = slot + 1;
-
-        // 4. Resolve or update.
-        if truth.is_clean_single() {
-            if report.resolved_at.is_none() {
-                report.resolved_at = Some(slot);
-                // The winner is uniform among the n symmetric stations.
-                report.winner = Some(rng.gen_range(0..config.n));
-            }
-            if !config.continue_past_singles {
-                break;
-            }
-        }
-        let state = match (config.cd, truth.observed()) {
-            (CdModel::NoCd, ChannelState::Null) => ChannelState::Collision,
-            (_, s) => s,
-        };
-        debug_assert!(
-            state != ChannelState::Single || config.continue_past_singles,
-            "clean Single already handled"
-        );
-        proto.on_state(slot, state);
-    }
-
-    if let Some(w) = report.winner {
-        if config.cd == CdModel::Strong {
-            report.leaders = vec![w];
-            report.all_terminated = true;
-        }
-    }
-    report.timed_out =
-        report.resolved_at.is_none() && !proto.finished() && report.slots == config.max_slots;
-    report.cap_hit = report.timed_out;
-    {
-        use jle_radio::HistoryView;
-        report.counts = history.counts();
-    }
-    report.energy = energy;
-    report.trace = trace;
-    (report, proto)
+/// Like [`run_cohort`], but reusing `arena`'s history ring (and trace
+/// allocation, if reclaimed) across repeated trials on one thread.
+pub fn run_cohort_in<U: UniformProtocol>(
+    config: &SimConfig,
+    adversary: &AdversarySpec,
+    factory: impl FnOnce() -> U,
+    arena: &mut SimArena,
+) -> RunReport {
+    let mut stations = CohortStations::new(factory());
+    SimCore::new(config, adversary).with_arena(arena).run(&mut stations)
 }
 
 /// **Negative control — deliberately violates the model.** Run a uniform
@@ -173,56 +207,8 @@ pub fn run_cohort_against_oracle<U: UniformProtocol>(
     t_window: u64,
     factory: impl FnOnce() -> U,
 ) -> RunReport {
-    assert!(config.n >= 1, "need at least one station");
-    let mut proto = factory();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut budget = jle_adversary::JamBudget::new(eps, t_window);
-    let mut energy = EnergyStats::default();
-    let mut report = RunReport::default();
-    let mut counts = jle_radio::history::StateCounts::default();
-
-    for slot in 0..config.max_slots {
-        if proto.finished() {
-            break;
-        }
-        let p = proto.tx_prob(slot);
-        let k = sample_transmitters(config.n, p, &mut rng);
-        // The cheat: decide with k in hand.
-        let jam = k == 1 && budget.can_jam();
-        budget.advance(jam);
-        let truth = SlotTruth::new(k, jam);
-        energy.transmissions += k;
-        energy.listens += config.n - k;
-        counts = {
-            let mut c = counts;
-            match truth.observed() {
-                ChannelState::Null => c.nulls += 1,
-                ChannelState::Single => c.singles += 1,
-                ChannelState::Collision => c.collisions += 1,
-            }
-            if jam {
-                c.jammed += 1;
-            }
-            c
-        };
-        report.slots = slot + 1;
-        if truth.is_clean_single() {
-            report.resolved_at = Some(slot);
-            report.winner = Some(rng.gen_range(0..config.n));
-            break;
-        }
-        let state = match (config.cd, truth.observed()) {
-            (CdModel::NoCd, ChannelState::Null) => ChannelState::Collision,
-            (_, s) => s,
-        };
-        proto.on_state(slot, state);
-    }
-    report.timed_out =
-        report.resolved_at.is_none() && !proto.finished() && report.slots == config.max_slots;
-    report.cap_hit = report.timed_out;
-    report.counts = counts;
-    report.energy = energy;
-    report
+    let mut stations = CohortStations::without_leader_claim(factory());
+    SimCore::oracle(config, eps, t_window).run(&mut stations)
 }
 
 #[cfg(test)]
@@ -259,6 +245,17 @@ mod tests {
     }
 
     #[test]
+    fn oracle_never_claims_a_leader() {
+        // Even when a Single leaks through the oracle's budget, the
+        // negative control records the resolution but no leader claim.
+        let config = SimConfig::new(1, CdModel::Strong).with_seed(2).with_max_slots(100);
+        let report = run_cohort_against_oracle(&config, Rate::from_f64(0.95), 16, || Fixed(1.0));
+        assert!(report.resolved_at.is_some());
+        assert!(report.leaders.is_empty(), "oracle runs never claim leadership");
+        assert!(!report.all_terminated);
+    }
+
+    #[test]
     fn continue_past_singles_keeps_running() {
         let config = SimConfig::new(1, CdModel::Strong)
             .with_seed(1)
@@ -274,6 +271,7 @@ mod tests {
 
     #[test]
     fn binomial_sampler_sanity() {
+        use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(7);
         assert_eq!(sample_transmitters(100, 0.0, &mut rng), 0);
         assert_eq!(sample_transmitters(100, 1.0, &mut rng), 100);
@@ -285,6 +283,7 @@ mod tests {
 
     #[test]
     fn sampler_clamps_out_of_range_probabilities() {
+        use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(8);
         assert_eq!(sample_transmitters(100, -0.5, &mut rng), 0, "negative p clamps to 0");
         assert_eq!(sample_transmitters(100, 1.5, &mut rng), 100, "p > 1 clamps to 1");
@@ -294,6 +293,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "transmission probability must not be NaN")]
     fn sampler_rejects_nan_probability() {
+        use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(9);
         let _ = sample_transmitters(100, f64::NAN, &mut rng);
     }
@@ -301,6 +301,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "transmission probability must not be NaN")]
     fn sampler_rejects_nan_even_for_zero_stations() {
+        use rand::SeedableRng;
         // The NaN check runs before any n-based early-out: a poisoned
         // probability is a bug wherever it appears.
         let mut rng = SmallRng::seed_from_u64(10);
@@ -377,23 +378,6 @@ mod tests {
 
     #[test]
     fn no_cd_null_becomes_collision_for_protocol() {
-        #[derive(Debug, Default)]
-        struct SeenNull(bool);
-        impl UniformProtocol for SeenNull {
-            fn tx_prob(&mut self, _: u64) -> f64 {
-                0.0
-            }
-            fn on_state(&mut self, _: u64, s: ChannelState) {
-                if s == ChannelState::Null {
-                    self.0 = true;
-                }
-            }
-            fn finished(&self) -> bool {
-                false
-            }
-        }
-        // We cannot observe inner state after the run (moved), so use a
-        // panic-on-null protocol instead.
         #[derive(Debug)]
         struct PanicOnNull;
         impl UniformProtocol for PanicOnNull {
@@ -406,7 +390,25 @@ mod tests {
         }
         let config = SimConfig::new(3, CdModel::NoCd).with_seed(1).with_max_slots(50);
         let _ = run_cohort(&config, &AdversarySpec::passive(), || PanicOnNull);
-        let _ = SeenNull::default();
+    }
+
+    #[test]
+    fn arena_runs_are_bit_identical_to_fresh_runs() {
+        let config = SimConfig::new(64, CdModel::Strong).with_seed(33).with_max_slots(100_000);
+        let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
+        let fresh = run_cohort(&config, &spec, || Fixed(1.0 / 64.0));
+        let mut arena = SimArena::new();
+        // Dirty the arena with unrelated runs first.
+        for s in 0..3u64 {
+            let other = config.clone().with_seed(500 + s);
+            let _ = run_cohort_in(&other, &spec, || Fixed(1.0 / 64.0), &mut arena);
+        }
+        let reused = run_cohort_in(&config, &spec, || Fixed(1.0 / 64.0), &mut arena);
+        assert_eq!(fresh.slots, reused.slots);
+        assert_eq!(fresh.resolved_at, reused.resolved_at);
+        assert_eq!(fresh.winner, reused.winner);
+        assert_eq!(fresh.counts, reused.counts);
+        assert_eq!(fresh.energy, reused.energy);
     }
 }
 

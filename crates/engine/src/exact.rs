@@ -1,21 +1,188 @@
-//! The exact per-station simulator.
+//! The exact per-station backend.
 //!
 //! Faithful to the model slot by slot: the adversary commits its jam
 //! decision first (it never sees current-slot actions), every running
-//! station then draws its action, the ground truth is resolved, and each
-//! station receives its CD-model-specific observation. Cost is O(n) per
-//! slot — use [`crate::cohort`] for uniform protocols at large `n`.
+//! station then draws its action *in station-index order*, the ground
+//! truth is resolved, and each station receives its CD-model-specific
+//! observation. Cost is O(n) per slot — use [`crate::cohort`] for uniform
+//! protocols at large `n`.
+//!
+//! The slot loop itself lives in [`crate::core::SimCore`];
+//! [`ExactStations`] supplies the per-station action/feedback semantics
+//! and [`run_exact`] / [`run_exact_in`] are thin shims.
 
 use crate::config::{SimConfig, StopRule};
+use crate::core::{SimArena, SimCore, SlotActions, StationSet};
 use crate::protocol::{Action, Protocol, Status};
-use crate::report::{EnergyStats, RunReport};
+use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
-use jle_radio::{cd, ChannelHistory, SlotTruth, Trace};
-use rand::{rngs::SmallRng, SeedableRng};
+use jle_radio::{cd, SlotTruth};
+use rand::rngs::SmallRng;
 
-/// Seed-stream separator so station randomness and adversary randomness
-/// are independent.
-const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
+/// The per-station [`StationSet`] backend: a vector of independent
+/// [`Protocol`] state machines plus the per-slot `transmitted`/`asleep`
+/// bookkeeping the feedback phase needs.
+pub struct ExactStations {
+    stations: Vec<Box<dyn Protocol>>,
+    transmitted: Vec<bool>,
+    asleep: Vec<bool>,
+}
+
+impl ExactStations {
+    /// Build a fresh station set; `factory(i)` builds station `i`.
+    pub fn new(config: &SimConfig, factory: impl FnMut(u64) -> Box<dyn Protocol>) -> Self {
+        let stations: Vec<Box<dyn Protocol>> = (0..config.n).map(factory).collect();
+        let n = stations.len();
+        ExactStations { stations, transmitted: vec![false; n], asleep: vec![false; n] }
+    }
+
+    /// Like [`ExactStations::new`], but reusing the station vector and
+    /// flag buffers held by `arena`. Pair with
+    /// [`ExactStations::recycle`] to return them after the run.
+    ///
+    /// If the arena holds exactly `config.n` stations from a previous run
+    /// and every one of them supports [`Protocol::reset`], the boxes are
+    /// recycled in place and `factory` is never called — the
+    /// allocation-free steady state. Otherwise the set is rebuilt from
+    /// `factory`. Recycled stations resurrect their own construction-time
+    /// parameters, so share an arena only across runs whose factories
+    /// build equivalently-initialized stations (see [`Protocol::reset`]).
+    pub fn new_in(
+        config: &SimConfig,
+        factory: impl FnMut(u64) -> Box<dyn Protocol>,
+        arena: &mut SimArena,
+    ) -> Self {
+        let mut stations = std::mem::take(&mut arena.stations);
+        if stations.len() != config.n as usize || !stations.iter_mut().all(|s| s.reset()) {
+            stations.clear();
+            stations.extend((0..config.n).map(factory));
+        }
+        let n = stations.len();
+        let mut transmitted = std::mem::take(&mut arena.transmitted);
+        transmitted.clear();
+        transmitted.resize(n, false);
+        let mut asleep = std::mem::take(&mut arena.asleep);
+        asleep.clear();
+        asleep.resize(n, false);
+        ExactStations { stations, transmitted, asleep }
+    }
+
+    /// Return the backing buffers to `arena` for the next run. Station
+    /// boxes are kept intact so a following [`ExactStations::new_in`] can
+    /// recycle resettable ones in place; non-resettable stations are
+    /// dropped there when the set is rebuilt.
+    pub fn recycle(self, arena: &mut SimArena) {
+        arena.stations = self.stations;
+        arena.transmitted = self.transmitted;
+        arena.asleep = self.asleep;
+    }
+
+    /// The stations, for post-run inspection.
+    pub fn stations(&self) -> &[Box<dyn Protocol>] {
+        &self.stations
+    }
+}
+
+impl std::fmt::Debug for ExactStations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactStations").field("n", &self.stations.len()).finish_non_exhaustive()
+    }
+}
+
+impl StationSet for ExactStations {
+    fn finished(&self) -> bool {
+        // Guarded by `any`: protocols that never implement `finished()`
+        // (the default) keep the historical behavior of running until a
+        // stop rule or the cap. When some station *does* finish (an
+        // `Estimation`-style protocol returning its answer), the run ends
+        // once every station has either terminated or finished — the
+        // cohort engine's semantics, now honored per-station.
+        self.stations.iter().any(|s| s.finished())
+            && self.stations.iter().all(|s| s.status().terminal() || s.finished())
+    }
+
+    fn act(&mut self, slot: u64, _config: &SimConfig, rng: &mut SmallRng) -> SlotActions {
+        let mut actions = SlotActions::default();
+        for (i, st) in self.stations.iter_mut().enumerate() {
+            self.transmitted[i] = false;
+            self.asleep[i] = false;
+            if st.status().terminal() {
+                self.asleep[i] = true; // terminated stations observe nothing
+                continue;
+            }
+            match st.act(slot, rng) {
+                Action::Transmit => {
+                    self.transmitted[i] = true;
+                    actions.transmitters += 1;
+                    actions.lone_transmitter =
+                        if actions.transmitters == 1 { Some(i as u64) } else { None };
+                }
+                Action::Listen => actions.listeners += 1,
+                Action::Sleep => self.asleep[i] = true,
+            }
+        }
+        actions
+    }
+
+    fn pick_winner(
+        &mut self,
+        actions: &SlotActions,
+        _config: &SimConfig,
+        _rng: &mut SmallRng,
+    ) -> Option<u64> {
+        // The exact engine knows the identity: no randomness drawn.
+        actions.lone_transmitter
+    }
+
+    fn feedback(&mut self, slot: u64, truth: &SlotTruth, config: &SimConfig) {
+        // Sleeping and terminated stations observe nothing.
+        for (i, st) in self.stations.iter_mut().enumerate() {
+            if self.asleep[i] && !self.transmitted[i] {
+                continue;
+            }
+            let obs = cd::observe(config.cd, self.transmitted[i], truth);
+            st.feedback(slot, self.transmitted[i], obs);
+        }
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.stations.iter().find(|s| !s.status().terminal()).and_then(|s| s.estimate())
+    }
+
+    fn should_stop(
+        &mut self,
+        _truth: &SlotTruth,
+        config: &SimConfig,
+        report: &mut RunReport,
+    ) -> bool {
+        match config.stop {
+            StopRule::FirstCleanSingle => report.resolved_at.is_some(),
+            StopRule::AllTerminated => {
+                if self.stations.iter().all(|s| s.status().terminal()) {
+                    report.all_terminated = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, config: &SimConfig, report: &mut RunReport) {
+        report.timed_out = match config.stop {
+            StopRule::FirstCleanSingle => report.resolved_at.is_none() && !self.finished(),
+            StopRule::AllTerminated => !report.all_terminated,
+        };
+        report.cap_hit = report.timed_out && report.slots == config.max_slots;
+        report.leaders = self
+            .stations
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status() == Status::Leader)
+            .map(|(i, _)| i as u64)
+            .collect();
+    }
+}
 
 /// Run one simulation with a fresh station set from `factory`.
 ///
@@ -25,118 +192,23 @@ const ADV_SEED_XOR: u64 = 0x9E37_79B9_7F4A_7C15;
 pub fn run_exact(
     config: &SimConfig,
     adversary: &AdversarySpec,
-    mut factory: impl FnMut(u64) -> Box<dyn Protocol>,
+    factory: impl FnMut(u64) -> Box<dyn Protocol>,
 ) -> RunReport {
-    assert!(config.n >= 1, "need at least one station");
-    let mut stations: Vec<Box<dyn Protocol>> = (0..config.n).map(&mut factory).collect();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut adv_rng = SmallRng::seed_from_u64(config.seed ^ ADV_SEED_XOR);
-    let mut strategy = adversary.strategy();
-    let mut budget = adversary.budget();
-    let mut history = ChannelHistory::new(config.effective_retention(adversary.t_window));
-    let mut trace =
-        config.record_trace.then(|| Trace::with_capacity(config.max_slots.min(1 << 20) as usize));
-    let mut energy = EnergyStats::default();
-    let mut report = RunReport::default();
-    let mut transmitted = vec![false; stations.len()];
-    let mut asleep = vec![false; stations.len()];
+    let mut stations = ExactStations::new(config, factory);
+    SimCore::new(config, adversary).run(&mut stations)
+}
 
-    for slot in 0..config.max_slots {
-        // 1. Adversary commits before seeing actions.
-        let want = strategy.decide(&history, &budget, &mut adv_rng);
-        let jam = want && budget.can_jam();
-        budget.advance(jam);
-
-        // 2. Running stations act.
-        let mut k = 0u64;
-        let mut lone_tx: Option<u64> = None;
-        let mut listeners = 0u64;
-        for (i, st) in stations.iter_mut().enumerate() {
-            transmitted[i] = false;
-            asleep[i] = false;
-            if st.status().terminal() {
-                asleep[i] = true; // terminated stations observe nothing
-                continue;
-            }
-            match st.act(slot, &mut rng) {
-                Action::Transmit => {
-                    transmitted[i] = true;
-                    k += 1;
-                    lone_tx = if k == 1 { Some(i as u64) } else { None };
-                }
-                Action::Listen => listeners += 1,
-                Action::Sleep => asleep[i] = true,
-            }
-        }
-        let noisy = config.noise_prob > 0.0 && {
-            use rand::Rng;
-            rng.gen_bool(config.noise_prob)
-        };
-        if noisy {
-            report.noise_slots += 1;
-        }
-        let truth = SlotTruth::new(k, jam || noisy);
-        energy.transmissions += k;
-        energy.listens += listeners;
-
-        // 3. Record.
-        if let Some(tr) = trace.as_mut() {
-            let est = stations.iter().find(|s| !s.status().terminal()).and_then(|s| s.estimate());
-            match est {
-                Some(u) => tr.push_with_estimate(&truth, u),
-                None => tr.push(&truth),
-            }
-        }
-        if truth.is_clean_single() && report.resolved_at.is_none() {
-            report.resolved_at = Some(slot);
-            report.winner = lone_tx;
-        }
-
-        // 4. Deliver observations to stations that participated (sleeping
-        // and terminated stations observe nothing).
-        for (i, st) in stations.iter_mut().enumerate() {
-            if asleep[i] && !transmitted[i] {
-                continue;
-            }
-            let obs = cd::observe(config.cd, transmitted[i], &truth);
-            st.feedback(slot, transmitted[i], obs);
-        }
-        history.push(&truth);
-        report.slots = slot + 1;
-
-        // 5. Stop rules.
-        match config.stop {
-            StopRule::FirstCleanSingle => {
-                if report.resolved_at.is_some() {
-                    break;
-                }
-            }
-            StopRule::AllTerminated => {
-                if stations.iter().all(|s| s.status().terminal()) {
-                    report.all_terminated = true;
-                    break;
-                }
-            }
-        }
-    }
-
-    report.timed_out = match config.stop {
-        StopRule::FirstCleanSingle => report.resolved_at.is_none(),
-        StopRule::AllTerminated => !report.all_terminated,
-    };
-    report.cap_hit = report.timed_out && report.slots == config.max_slots;
-    report.leaders = stations
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.status() == Status::Leader)
-        .map(|(i, _)| i as u64)
-        .collect();
-    report.counts = {
-        use jle_radio::HistoryView;
-        history.counts()
-    };
-    report.energy = energy;
-    report.trace = trace;
+/// Like [`run_exact`], but reusing `arena`'s buffers — the allocation-free
+/// steady state for tight Monte-Carlo trial loops on one thread.
+pub fn run_exact_in(
+    config: &SimConfig,
+    adversary: &AdversarySpec,
+    factory: impl FnMut(u64) -> Box<dyn Protocol>,
+    arena: &mut SimArena,
+) -> RunReport {
+    let mut stations = ExactStations::new_in(config, factory, arena);
+    let report = SimCore::new(config, adversary).with_arena(arena).run(&mut stations);
+    stations.recycle(arena);
     report
 }
 
@@ -261,5 +333,104 @@ mod tests {
         assert!(report.all_terminated);
         assert!(!report.timed_out);
         assert_eq!(report.leaders, vec![0]);
+    }
+
+    #[test]
+    fn resettable_stations_are_recycled_without_calling_the_factory() {
+        /// `Fixed` plus in-place reset (it carries no run state).
+        #[derive(Debug, Clone)]
+        struct ResettableFixed(f64);
+        impl UniformProtocol for ResettableFixed {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                self.0
+            }
+            fn on_state(&mut self, _: u64, _: ChannelState) {}
+            fn reset(&mut self) -> bool {
+                true
+            }
+        }
+
+        let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
+        let mut arena = SimArena::new();
+        let mut factory_calls = 0u64;
+        for round in 0..4u64 {
+            let config = SimConfig::new(8, CdModel::Strong).with_seed(round).with_max_slots(500);
+            let fresh =
+                run_exact(&config, &spec, |_| Box::new(PerStation::new(ResettableFixed(0.3))));
+            let reused = run_exact_in(
+                &config,
+                &spec,
+                |_| {
+                    factory_calls += 1;
+                    Box::new(PerStation::new(ResettableFixed(0.3)))
+                },
+                &mut arena,
+            );
+            assert_eq!(fresh.slots, reused.slots, "round {round}");
+            assert_eq!(fresh.resolved_at, reused.resolved_at, "round {round}");
+            assert_eq!(fresh.winner, reused.winner, "round {round}");
+            assert_eq!(fresh.counts, reused.counts, "round {round}");
+            assert_eq!(fresh.energy, reused.energy, "round {round}");
+        }
+        assert_eq!(factory_calls, 8, "only the first arena run may build stations");
+    }
+
+    #[test]
+    fn station_count_change_rebuilds_instead_of_recycling() {
+        #[derive(Debug, Clone)]
+        struct Resettable;
+        impl UniformProtocol for Resettable {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.5
+            }
+            fn on_state(&mut self, _: u64, _: ChannelState) {}
+            fn reset(&mut self) -> bool {
+                true
+            }
+        }
+
+        let mut arena = SimArena::new();
+        for n in [4u64, 16, 4] {
+            let config = SimConfig::new(n, CdModel::Strong).with_seed(2).with_max_slots(200);
+            let fresh = run_exact(&config, &passive(), |_| Box::new(PerStation::new(Resettable)));
+            let reused = run_exact_in(
+                &config,
+                &passive(),
+                |_| Box::new(PerStation::new(Resettable)),
+                &mut arena,
+            );
+            assert_eq!(fresh.resolved_at, reused.resolved_at, "n = {n}");
+            assert_eq!(fresh.counts, reused.counts, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn arena_runs_are_bit_identical_to_fresh_runs() {
+        let config = SimConfig::new(8, CdModel::Strong)
+            .with_seed(21)
+            .with_max_slots(50_000)
+            .with_trace(true);
+        let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
+        let fresh = run_exact(&config, &spec, |_| Box::new(PerStation::new(Fixed(0.2))));
+        let mut arena = SimArena::new();
+        for seed_bump in 0..3u64 {
+            // Interleave other seeds so reuse carries real dirty state.
+            let other = config.clone().with_seed(100 + seed_bump);
+            let mut r =
+                run_exact_in(&other, &spec, |_| Box::new(PerStation::new(Fixed(0.2))), &mut arena);
+            arena.reclaim_trace(&mut r);
+        }
+        let mut reused =
+            run_exact_in(&config, &spec, |_| Box::new(PerStation::new(Fixed(0.2))), &mut arena);
+        assert_eq!(fresh.slots, reused.slots);
+        assert_eq!(fresh.resolved_at, reused.resolved_at);
+        assert_eq!(fresh.winner, reused.winner);
+        assert_eq!(fresh.counts, reused.counts);
+        assert_eq!(fresh.energy, reused.energy);
+        let (ft, rt) = (fresh.trace.unwrap(), reused.trace.as_ref().unwrap());
+        assert_eq!(ft.len(), rt.len());
+        assert!(ft.iter().zip(rt.iter()).all(|(a, b)| a == b));
+        assert_eq!(ft.estimates, rt.estimates);
+        arena.reclaim_trace(&mut reused);
     }
 }

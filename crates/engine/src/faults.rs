@@ -18,19 +18,23 @@
 //!   distort energy, not successful receptions — so validity (a `Leader`
 //!   only on a heard `Single`) is preserved by construction.
 //!
-//! The injection point is [`FaultyStation`], an adapter wrapping any
-//! [`Protocol`]; [`run_exact_faulty`] drives a whole faulty station set
-//! through the unmodified exact engine. Fault randomness comes from a
-//! dedicated per-station RNG derived from the [`FaultPlan`] seed, so an
-//! empty plan leaves the engine's random stream — and therefore the whole
-//! run — bit-for-bit identical to a pristine [`crate::run_exact`] run.
+//! The injection points are [`FaultyStation`], an adapter wrapping any
+//! [`Protocol`], and [`FaultyStations`], the [`StationSet`] backend that
+//! wraps the whole station set (delegating the slot semantics to
+//! [`ExactStations`]) and fills the report's degradation fields;
+//! [`run_exact_faulty`] is the thin shim over [`crate::core::SimCore`].
+//! Fault randomness comes from a dedicated per-station RNG derived from
+//! the [`FaultPlan`] seed, so an empty plan leaves the engine's random
+//! stream — and therefore the whole run — bit-for-bit identical to a
+//! pristine [`crate::run_exact`] run.
 
 use crate::config::SimConfig;
-use crate::exact::run_exact;
+use crate::core::{SimCore, SlotActions, StationSet};
+use crate::exact::ExactStations;
 use crate::protocol::{Action, Protocol, Status};
 use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
-use jle_radio::{cd::Observation, ChannelState};
+use jle_radio::{cd::Observation, ChannelState, SlotTruth};
 use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
 use serde::{value::Error, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
@@ -451,8 +455,102 @@ impl Protocol for FaultyStation {
         self.inner.status()
     }
 
+    fn finished(&self) -> bool {
+        // A down station still reports its last state; `finished` only
+        // matters under the exact engine's all-terminal-or-finished
+        // guard, where a crashed-forever station pins the run to the cap
+        // exactly as it did before `finished` existed.
+        self.inner.finished()
+    }
+
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+}
+
+/// The fault-injecting [`StationSet`] backend: an [`ExactStations`] whose
+/// planned stations are wrapped in [`FaultyStation`], plus the post-run
+/// degradation verdict from the [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyStations<'p> {
+    inner: ExactStations,
+    plan: &'p FaultPlan,
+}
+
+impl<'p> FaultyStations<'p> {
+    /// Build the station set: stations without a plan entry come from
+    /// `factory` directly (zero overhead); stations with one are wrapped
+    /// in [`FaultyStation`] seeded from [`FaultPlan::station_seed`].
+    pub fn new<F>(config: &SimConfig, plan: &'p FaultPlan, factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static,
+    {
+        let factory = Arc::new(factory);
+        let inner = ExactStations::new(config, |i| match plan.get(i) {
+            None => factory(i),
+            Some(f) => {
+                let fac = Arc::clone(&factory);
+                Box::new(FaultyStation::new(
+                    f.clone(),
+                    plan.station_seed(i),
+                    Box::new(move || fac(i)),
+                ))
+            }
+        });
+        FaultyStations { inner, plan }
+    }
+}
+
+impl StationSet for FaultyStations<'_> {
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+
+    fn act(&mut self, slot: u64, config: &SimConfig, rng: &mut SmallRng) -> SlotActions {
+        self.inner.act(slot, config, rng)
+    }
+
+    fn pick_winner(
+        &mut self,
+        actions: &SlotActions,
+        config: &SimConfig,
+        rng: &mut SmallRng,
+    ) -> Option<u64> {
+        self.inner.pick_winner(actions, config, rng)
+    }
+
+    fn feedback(&mut self, slot: u64, truth: &SlotTruth, config: &SimConfig) {
+        self.inner.feedback(slot, truth, config)
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.inner.estimate()
+    }
+
+    fn should_stop(
+        &mut self,
+        truth: &SlotTruth,
+        config: &SimConfig,
+        report: &mut RunReport,
+    ) -> bool {
+        self.inner.should_stop(truth, config, report)
+    }
+
+    fn finalize(&mut self, config: &SimConfig, report: &mut RunReport) {
+        self.inner.finalize(config, report);
+        if report.leaders.len() <= 1 {
+            if let Some(w) = report.leaders.first().copied().or(report.winner) {
+                // Judge against the full horizon, not the (possibly
+                // early) stop slot: crash schedules are wall-clock, so a
+                // winner that resolved the election at slot 40 and
+                // crashes at slot 900 still leaves the network
+                // leaderless.
+                let horizon = config.max_slots.max(report.slots);
+                if self.plan.leader_crashed(w, horizon) {
+                    report.leader_crashed = true;
+                }
+            }
+        }
     }
 }
 
@@ -477,34 +575,15 @@ pub fn run_exact_faulty<F>(
 where
     F: Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static,
 {
-    let factory = Arc::new(factory);
-    let mut report = run_exact(config, adversary, |i| match plan.get(i) {
-        None => factory(i),
-        Some(f) => {
-            let fac = Arc::clone(&factory);
-            Box::new(FaultyStation::new(f.clone(), plan.station_seed(i), Box::new(move || fac(i))))
-        }
-    });
-    let lead = report.leaders.first().copied().or(report.winner);
-    if report.leaders.len() <= 1 {
-        if let Some(w) = lead {
-            // Judge against the full horizon, not the (possibly early)
-            // stop slot: crash schedules are wall-clock, so a winner that
-            // resolved the election at slot 40 and crashes at slot 900
-            // still leaves the network leaderless.
-            let horizon = config.max_slots.max(report.slots);
-            if plan.leader_crashed(w, horizon) {
-                report.leader_crashed = true;
-            }
-        }
-    }
-    report
+    let mut stations = FaultyStations::new(config, plan, factory);
+    SimCore::new(config, adversary).run(&mut stations)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::StopRule;
+    use crate::exact::run_exact;
     use crate::protocol::{PerStation, UniformProtocol};
     use crate::report::Outcome;
     use jle_radio::CdModel;

@@ -7,36 +7,54 @@
 //! observations filtered by the collision-detection model, and jammed
 //! slots are indistinguishable from collisions.
 //!
-//! Two simulators:
+//! ## Architecture: one loop, three backends
 //!
-//! * [`run_exact`] — per-station, O(n) per slot; required for role-split
-//!   protocols (`Notification`).
-//! * [`run_cohort`] — for the paper's *uniform* protocol class; tracks one
-//!   shared state and samples transmitter counts binomially, O(1) per slot
-//!   (n-independent), enabling sweeps to millions of stations.
+//! The slot loop is written exactly once, in [`SimCore`] (see
+//! `DESIGN.md` §10). What varies between simulators is *who the stations
+//! are*, captured by the [`StationSet`] trait:
+//!
+//! * [`ExactStations`] / [`run_exact`] — per-station, O(n) per slot;
+//!   required for role-split protocols (`Notification`).
+//! * [`CohortStations`] / [`run_cohort`] — for the paper's *uniform*
+//!   protocol class; tracks one shared state and samples transmitter
+//!   counts binomially, O(1) per slot (n-independent), enabling sweeps to
+//!   millions of stations.
+//! * [`FaultyStations`] / [`run_exact_faulty`] — the exact backend with
+//!   the [`faults`] subsystem layered on: station crashes, staggered
+//!   wakeups, deafness, and sensing errors, with failures classified by
+//!   the [`Outcome`] degradation taxonomy.
+//!
+//! Instrumentation (energy accounting, trace recording, live throughput)
+//! attaches as composable [`SlotObserver`] layers rather than being inlined
+//! in the loop, and repeated trials on one thread can reuse buffers
+//! through a [`SimArena`] ([`run_exact_in`] / [`run_cohort_in`]).
 //!
 //! Plus the deterministic Rayon-parallel [`MonteCarlo`] driver used by all
-//! experiments (with a panic-isolating [`MonteCarlo::run_caught`] variant)
-//! and the [`faults`] subsystem for injecting station crashes, staggered
-//! wakeups, deafness, and sensing errors into exact-engine runs
-//! ([`run_exact_faulty`]), with failures classified by the
-//! [`Outcome`] degradation taxonomy.
+//! experiments (with a panic-isolating [`MonteCarlo::run_caught`]
+//! variant).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cohort;
 pub mod config;
+pub mod core;
 pub mod exact;
 pub mod faults;
+pub mod observer;
 pub mod protocol;
 pub mod report;
 pub mod runner;
 
-pub use cohort::{run_cohort, run_cohort_against_oracle, run_cohort_with, sample_transmitters};
+pub use crate::core::{SimArena, SimCore, SlotActions, StationSet, ADV_SEED_XOR};
+pub use cohort::{
+    run_cohort, run_cohort_against_oracle, run_cohort_in, run_cohort_with, sample_transmitters,
+    CohortStations,
+};
 pub use config::{SimConfig, StopRule};
-pub use exact::run_exact;
-pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, StationFaults};
+pub use exact::{run_exact, run_exact_in, ExactStations};
+pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, FaultyStations, StationFaults};
+pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserver};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
 pub use report::{EnergyStats, Outcome, RunReport, SlotCost};
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};

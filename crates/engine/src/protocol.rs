@@ -72,10 +72,39 @@ pub trait Protocol: Send {
     /// Current election status.
     fn status(&self) -> Status;
 
+    /// Whether the station finished its computation without terminating
+    /// as `Leader`/`NonLeader` (e.g. an `Estimation` station that has its
+    /// answer). Mirrors [`UniformProtocol::finished`]: the exact engine
+    /// stops once some station reports `finished()` and every station is
+    /// either terminal or finished. Defaults to `false`, which preserves
+    /// run-to-the-cap behavior for election protocols.
+    fn finished(&self) -> bool {
+        false
+    }
+
     /// Optional protocol-internal scalar (LESK's estimate `u`) for
     /// trajectory traces.
     fn estimate(&self) -> Option<f64> {
         None
+    }
+
+    /// Restore this station *in place* to the initial state it was
+    /// constructed with, returning `true` on success. [`crate::SimArena`]
+    /// uses this to recycle station boxes across runs instead of
+    /// re-allocating `n` of them per trial: a run via
+    /// [`crate::run_exact_in`] reuses the previous run's stations only
+    /// when **every** one of them resets successfully, and rebuilds the
+    /// whole set from the factory otherwise.
+    ///
+    /// The default is `false` (never recycled), which is always correct.
+    /// Implementations returning `true` must erase *all* run state —
+    /// after `reset()`, the station must behave bit-for-bit like a
+    /// freshly constructed one. Because a recycled box resurrects its
+    /// *own* construction-time parameters, an arena must only be shared
+    /// across runs whose factories build equivalently-initialized
+    /// stations.
+    fn reset(&mut self) -> bool {
+        false
     }
 }
 
@@ -111,6 +140,14 @@ pub trait UniformProtocol: Send {
     /// Optional protocol-internal scalar (LESK's `u`) for traces.
     fn estimate(&self) -> Option<f64> {
         None
+    }
+
+    /// Restore the shared state to its construction-time initial value,
+    /// returning `true` on success. Mirrors [`Protocol::reset`] (which
+    /// [`PerStation`] forwards here): it lets [`crate::SimArena`] recycle
+    /// per-station boxes across exact-engine runs. Default `false`.
+    fn reset(&mut self) -> bool {
+        false
     }
 }
 
@@ -178,8 +215,21 @@ impl<U: UniformProtocol + Send> Protocol for PerStation<U> {
         self.status
     }
 
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn reset(&mut self) -> bool {
+        if self.inner.reset() {
+            self.status = Status::Running;
+            true
+        } else {
+            false
+        }
     }
 }
 

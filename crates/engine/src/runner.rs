@@ -9,7 +9,29 @@
 
 use rayon::prelude::*;
 use serde::{value::Error, Deserialize, Serialize, Value};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide cache of explicitly sized worker pools, one per width.
+///
+/// Building a rayon pool is not free (under real rayon it spawns OS
+/// threads), and [`MonteCarlo::run`] used to rebuild one on *every* call
+/// when `jobs` was set — pure overhead for orchestrator shards that run
+/// thousands of small sweeps at a fixed width. Pools carry no
+/// sweep-specific state, so one per width can serve the whole process;
+/// they are leaked intentionally (a handful of widths over a process
+/// lifetime, reclaimed at exit).
+fn sized_pool(jobs: usize) -> &'static rayon::ThreadPool {
+    static POOLS: OnceLock<Mutex<HashMap<usize, &'static rayon::ThreadPool>>> = OnceLock::new();
+    let mut pools =
+        POOLS.get_or_init(|| Mutex::new(HashMap::new())).lock().expect("pool cache poisoned");
+    pools.entry(jobs).or_insert_with(|| {
+        Box::leak(Box::new(
+            rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("sized thread pool"),
+        ))
+    })
+}
 
 /// The result of one trial under [`MonteCarlo::run_caught`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,11 +182,7 @@ impl MonteCarlo {
     {
         let body = || (0..self.trials).into_par_iter().map(|i| f(self.base_seed + i)).collect();
         match self.jobs {
-            Some(j) => rayon::ThreadPoolBuilder::new()
-                .num_threads(j)
-                .build()
-                .expect("sized thread pool")
-                .install(body),
+            Some(j) => sized_pool(j).install(body),
             None => body(),
         }
     }
@@ -267,6 +285,17 @@ mod tests {
         let a = wide.run(|seed| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let b = narrow.run(|seed| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sized_pools_are_built_once_per_width() {
+        let a = sized_pool(3);
+        let b = sized_pool(3);
+        assert!(std::ptr::eq(a, b), "same width must reuse the cached pool");
+        assert_eq!(a.current_num_threads(), 3);
+        let c = sized_pool(5);
+        assert!(!std::ptr::eq(a, c), "distinct widths get distinct pools");
+        assert_eq!(c.current_num_threads(), 5);
     }
 
     #[test]

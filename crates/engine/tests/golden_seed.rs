@@ -207,9 +207,8 @@ fn golden_exact_weak_cap() {
     // walks the full 1500-slot horizon, cycling the jam budget window ~90
     // times and drawing station randomness every slot — the long-run
     // fixture pinning steady-state loop behavior.
-    let config = exact_config(CdModel::Weak)
-        .with_max_slots(1_500)
-        .with_stop(StopRule::AllTerminated);
+    let config =
+        exact_config(CdModel::Weak).with_max_slots(1_500).with_stop(StopRule::AllTerminated);
     let r = run_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
     check("exact_weak_cap", &r);
 }
@@ -250,7 +249,8 @@ fn golden_cohort_noise() {
 
 #[test]
 fn golden_cohort_continue_past_singles() {
-    let config = cohort_config(CdModel::Strong).with_max_slots(512).with_continue_past_singles(true);
+    let config =
+        cohort_config(CdModel::Strong).with_max_slots(512).with_continue_past_singles(true);
     let r = run_cohort(&config, &saturating(), Backoff::new);
     check("cohort_continue_past_singles", &r);
 }

@@ -28,6 +28,13 @@ pub struct Stats {
     /// Channel slots simulated by executed trials (see
     /// [`jle_engine::SlotCost`]).
     pub simulated_slots: AtomicU64,
+    /// Channel slots reported **live** from inside running slot loops by
+    /// [`Stats::live_slot_sink`]-wired `jle_engine::ThroughputObserver`s.
+    /// Unlike [`Stats::simulated_slots`], which is credited only after a
+    /// chunk completes, this counter moves while a long simulation is
+    /// still mid-loop — the live slots/sec signal. The two counters are
+    /// independent tallies of the same work, not additive.
+    pub live_slots: AtomicU64,
     /// Work units submitted.
     pub units: AtomicU64,
 }
@@ -47,6 +54,8 @@ pub struct StatsSnapshot {
     pub chunk_misses: u64,
     /// Channel slots simulated by executed trials.
     pub simulated_slots: u64,
+    /// Channel slots reported live from inside running slot loops.
+    pub live_slots: u64,
     /// Work units submitted.
     pub units: u64,
 }
@@ -61,12 +70,27 @@ impl Stats {
             chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
             chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
             simulated_slots: self.simulated_slots.load(Ordering::Relaxed),
+            live_slots: self.live_slots.load(Ordering::Relaxed),
             units: self.units.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A batch sink for `jle_engine::ThroughputObserver` that feeds
+    /// [`Stats::live_slots`]: attach
+    /// `ThroughputObserver::new(interval, stats.live_slot_sink())` to a
+    /// `SimCore` and the run's progress becomes visible here *while the
+    /// slot loop is still running*, at one relaxed atomic add per
+    /// `interval` slots. Trial closures capture `&Stats` (the add takes
+    /// `&self`), so the sink composes with the scheduler's `Fn + Sync`
+    /// trial bound.
+    pub fn live_slot_sink(&self) -> impl FnMut(u64) + '_ {
+        move |batch| {
+            self.live_slots.fetch_add(batch, Ordering::Relaxed);
+        }
     }
 }
 
@@ -399,6 +423,33 @@ mod tests {
         assert_eq!(snap.executed_trials, 5);
         assert_eq!(snap.chunk_hits, 2);
         assert_eq!(snap.cached_trials, 0);
+    }
+
+    #[test]
+    fn live_slot_sink_reports_slots_from_inside_a_run() {
+        use jle_adversary::AdversarySpec;
+        use jle_engine::{CohortStations, SimConfig, SimCore, ThroughputObserver, UniformProtocol};
+        use jle_radio::{CdModel, ChannelState};
+
+        #[derive(Debug)]
+        struct Silent;
+        impl UniformProtocol for Silent {
+            fn tx_prob(&mut self, _: u64) -> f64 {
+                0.0
+            }
+            fn on_state(&mut self, _: u64, _: ChannelState) {}
+        }
+
+        let stats = Stats::default();
+        let config = SimConfig::new(4, CdModel::Strong).with_seed(1).with_max_slots(100);
+        let mut obs = ThroughputObserver::new(16, stats.live_slot_sink());
+        let mut stations = CohortStations::new(Silent);
+        let report =
+            SimCore::new(&config, &AdversarySpec::passive()).observe(&mut obs).run(&mut stations);
+        let snap = stats.snapshot();
+        assert_eq!(report.slots, 100, "silent cohort runs to the cap");
+        assert_eq!(snap.live_slots, report.slots, "every played slot reaches the counter");
+        assert_eq!(snap.simulated_slots, 0, "live counter is independent of chunk accounting");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! of at least `ln(a)/a²`. Experiment E11 recomputes all of this from
 //! recorded traces.
 
-use jle_radio::{ChannelState, Trace};
+use jle_engine::{SlotActions, SlotObserver};
+use jle_radio::{ChannelState, SlotTruth, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Per-class slot counters for one run.
@@ -46,6 +47,16 @@ impl jle_engine::SlotCost for SlotTaxonomy {
     }
 }
 
+/// The `u`-thresholds of the Section 2.2 classification for a given
+/// `(n, ε)`: `(low, high_ic, high_cs)`.
+fn thresholds(n: u64, eps: f64) -> (f64, f64, f64) {
+    let u0 = (n.max(2) as f64).log2();
+    let a = 8.0 / eps;
+    let low = u0 - (2.0 * a.ln()).log2();
+    let high_ic = u0 + 0.5 * a.log2();
+    (low, high_ic, high_ic + 1.0)
+}
+
 impl SlotTaxonomy {
     /// Total classified slots.
     pub fn total(&self) -> u64 {
@@ -58,6 +69,30 @@ impl SlotTaxonomy {
             + self.single_count
     }
 
+    /// Classify one slot given the estimate `u` at its start.
+    fn record(
+        &mut self,
+        state: ChannelState,
+        jammed: bool,
+        u: f64,
+        low: f64,
+        hi_ic: f64,
+        hi_cs: f64,
+    ) {
+        if jammed {
+            self.e_count += 1;
+            return;
+        }
+        match state {
+            ChannelState::Single => self.single_count += 1,
+            ChannelState::Null if u <= low => self.is_count += 1,
+            ChannelState::Null if u >= hi_cs => self.cs_count += 1,
+            ChannelState::Collision if u >= hi_ic => self.ic_count += 1,
+            ChannelState::Collision if u <= low => self.cc_count += 1,
+            _ => self.r_count += 1,
+        }
+    }
+
     /// Classify every slot of a recorded LESK trace.
     ///
     /// The trace must carry the per-slot estimates (`record_trace` with a
@@ -68,25 +103,10 @@ impl SlotTaxonomy {
     /// Panics if the trace has no estimate series.
     pub fn from_trace(trace: &Trace, n: u64, eps: f64) -> Self {
         assert_eq!(trace.estimates.len(), trace.len(), "trace must carry one estimate per slot");
-        let u0 = (n.max(2) as f64).log2();
-        let a = 8.0 / eps;
-        let low = u0 - (2.0 * a.ln()).log2();
-        let high_ic = u0 + 0.5 * a.log2();
-        let high_cs = high_ic + 1.0;
+        let (low, high_ic, high_cs) = thresholds(n, eps);
         let mut tax = SlotTaxonomy::default();
         for (slot, u) in trace.iter().zip(trace.estimates.iter().copied()) {
-            if slot.jammed() {
-                tax.e_count += 1;
-                continue;
-            }
-            match slot.state() {
-                ChannelState::Single => tax.single_count += 1,
-                ChannelState::Null if u <= low => tax.is_count += 1,
-                ChannelState::Null if u >= high_cs => tax.cs_count += 1,
-                ChannelState::Collision if u >= high_ic => tax.ic_count += 1,
-                ChannelState::Collision if u <= low => tax.cc_count += 1,
-                _ => tax.r_count += 1,
-            }
+            tax.record(slot.state(), slot.jammed(), u, low, high_ic, high_cs);
         }
         tax
     }
@@ -113,6 +133,49 @@ impl SlotTaxonomy {
     pub fn cc_bound(&self, n: u64, eps: f64) -> f64 {
         let a = 8.0 / eps;
         a * self.is_count as f64 + a * (n.max(2) as f64).log2()
+    }
+}
+
+/// Live taxonomy classification as a [`SlotObserver`] layer.
+///
+/// Classifies each slot as the engine plays it — same partition as
+/// [`SlotTaxonomy::from_trace`], proven equal by test — so a
+/// multi-million-slot run gets its taxonomy without recording (and
+/// holding) a trace. Attach with `SimCore::observe`; the observer asks
+/// for the per-slot estimate ([`SlotObserver::wants_estimate`]), which is
+/// the LESK `u` at the *start* of the slot. Slots where the protocol
+/// exposes no estimate fall into the regular class `R` (no threshold can
+/// fire without a `u`).
+#[derive(Debug)]
+pub struct TaxonomyObserver {
+    low: f64,
+    high_ic: f64,
+    high_cs: f64,
+    tax: SlotTaxonomy,
+}
+
+impl TaxonomyObserver {
+    /// A live classifier for a run of `n` stations against an `ε`-bounded
+    /// adversary.
+    pub fn new(n: u64, eps: f64) -> Self {
+        let (low, high_ic, high_cs) = thresholds(n, eps);
+        TaxonomyObserver { low, high_ic, high_cs, tax: SlotTaxonomy::default() }
+    }
+
+    /// The counters accumulated so far.
+    pub fn taxonomy(&self) -> SlotTaxonomy {
+        self.tax
+    }
+}
+
+impl SlotObserver for TaxonomyObserver {
+    fn wants_estimate(&self) -> bool {
+        true
+    }
+
+    fn on_slot(&mut self, _: u64, truth: &SlotTruth, _: &SlotActions, estimate: Option<f64>) {
+        let u = estimate.unwrap_or(f64::NAN); // NaN compares false: class R
+        self.tax.record(truth.observed(), truth.jammed, u, self.low, self.high_ic, self.high_cs);
     }
 }
 
@@ -177,6 +240,43 @@ mod tests {
         let tax = SlotTaxonomy { ic_count: 16, e_count: 16, is_count: 2, ..Default::default() };
         assert!((tax.cs_bound(0.5) - 2.0).abs() < 1e-12);
         assert!(tax.cc_bound(256, 0.5) >= 16.0 * 2.0);
+    }
+
+    #[test]
+    fn live_observer_matches_trace_classification() {
+        // The same run, classified both ways: live (observer layer) and
+        // post-hoc (recorded trace) must agree exactly.
+        use crate::lesk::LeskProtocol;
+        use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+        use jle_engine::{CohortStations, SimConfig, SimCore};
+        use jle_radio::CdModel;
+
+        let eps = 0.5;
+        let n = 256u64;
+        let spec = AdversarySpec::new(Rate::from_f64(eps), 16, JamStrategyKind::Saturating);
+        let config = SimConfig::new(n, CdModel::Strong)
+            .with_seed(1312)
+            .with_max_slots(50_000)
+            .with_trace(true);
+        let mut live = TaxonomyObserver::new(n, eps);
+        let mut stations = CohortStations::new(LeskProtocol::new(eps));
+        let report = SimCore::new(&config, &spec).observe(&mut live).run(&mut stations);
+        let from_trace = SlotTaxonomy::from_trace(&report.trace.expect("trace requested"), n, eps);
+        assert_eq!(live.taxonomy(), from_trace);
+        assert_eq!(live.taxonomy().total(), report.slots);
+        assert!(live.taxonomy().e_count > 0, "the jammer must show up in class E");
+    }
+
+    #[test]
+    fn observer_without_estimates_classifies_regular() {
+        let mut obs = TaxonomyObserver::new(256, 0.5);
+        let actions = jle_engine::SlotActions::default();
+        obs.on_slot(0, &SlotTruth::new(0, false), &actions, None);
+        obs.on_slot(1, &SlotTruth::new(3, false), &actions, None);
+        obs.on_slot(2, &SlotTruth::new(0, true), &actions, None);
+        let tax = obs.taxonomy();
+        assert_eq!(tax.r_count, 2, "no estimate: thresholds cannot fire");
+        assert_eq!(tax.e_count, 1, "jamming needs no estimate");
     }
 
     #[test]

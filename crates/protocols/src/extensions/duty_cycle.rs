@@ -69,8 +69,18 @@ impl Protocol for DutyCycledLesk {
         self.inner.status()
     }
 
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn reset(&mut self) -> bool {
+        // period/phase are construction-time constants; only the wrapped
+        // LESK walk carries run state.
+        self.inner.reset()
     }
 }
 

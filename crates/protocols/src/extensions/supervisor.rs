@@ -112,7 +112,10 @@ impl Protocol for Supervisor {
             return;
         }
         self.silence += 1;
-        if self.silence >= self.window && !self.inner.status().terminal() {
+        // A finished station (an Estimation-style probe that has its
+        // answer) is quiet by design, not wedged — never restart it.
+        if self.silence >= self.window && !self.inner.status().terminal() && !self.inner.finished()
+        {
             // Presumed wedged: re-run the election from fresh state and
             // back the watchdog off so a slow-but-live election is not
             // restarted forever.
@@ -125,6 +128,10 @@ impl Protocol for Supervisor {
 
     fn status(&self) -> Status {
         self.inner.status()
+    }
+
+    fn finished(&self) -> bool {
+        self.inner.finished()
     }
 
     fn estimate(&self) -> Option<f64> {

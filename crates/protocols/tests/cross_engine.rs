@@ -1,0 +1,78 @@
+//! Cross-engine agreement for protocol-driven termination.
+//!
+//! `UniformProtocol::finished()` used to be honored only by the cohort
+//! loop; the exact engine's `PerStation` path ran a finished protocol to
+//! the slot cap. With the unified `SimCore`, both backends consult the
+//! same `StationSet::finished()` hook, so an `Estimation`-style protocol
+//! must now stop both engines at the *same* slot.
+//!
+//! To compare stop slots across engines at all, the protocol must be
+//! silent: the two backends consume randomness differently (n Bernoulli
+//! draws vs one binomial draw), so any transmission desynchronizes the
+//! channel sequences. A listen-only probe makes both runs fully
+//! deterministic — every slot is a `Null` (or a jammed `Collision`, which
+//! the deterministic saturating adversary places identically in both runs
+//! because the channel history is identical) — and the real
+//! `EstimationProtocol` state machine decides the stop slot on its own.
+
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{run_cohort, run_exact, PerStation, SimConfig, UniformProtocol};
+use jle_protocols::estimation::EstimationProtocol;
+use jle_radio::{CdModel, ChannelState};
+
+/// The real `Estimation(L)` state machine with its transmissions muted.
+#[derive(Debug, Clone)]
+struct SilencedEstimation(EstimationProtocol);
+
+impl SilencedEstimation {
+    fn new(l_threshold: u64) -> Self {
+        SilencedEstimation(EstimationProtocol::new(l_threshold))
+    }
+}
+
+impl UniformProtocol for SilencedEstimation {
+    fn tx_prob(&mut self, _slot: u64) -> f64 {
+        0.0
+    }
+    fn on_state(&mut self, slot: u64, state: ChannelState) {
+        self.0.on_state(slot, state)
+    }
+    fn finished(&self) -> bool {
+        self.0.finished()
+    }
+    fn estimate(&self) -> Option<f64> {
+        self.0.estimate()
+    }
+}
+
+/// All-Null channel: `Estimation(5)` fails rounds 1 (2 Nulls) and 2
+/// (4 Nulls) and returns in round 3 after 2 + 4 + 8 = 14 slots.
+#[test]
+fn estimation_stops_both_engines_at_the_same_slot() {
+    let config = SimConfig::new(8, CdModel::Strong).with_seed(77).with_max_slots(10_000);
+    let adv = AdversarySpec::passive();
+    let cohort = run_cohort(&config, &adv, || SilencedEstimation::new(5));
+    let exact = run_exact(&config, &adv, |_| Box::new(PerStation::new(SilencedEstimation::new(5))));
+    assert_eq!(cohort.slots, 14, "rounds 1+2+3 = 2+4+8 slots");
+    assert_eq!(exact.slots, cohort.slots, "engines must stop at the same slot");
+    assert!(!cohort.timed_out && !exact.timed_out, "a finished run is not a timeout");
+    assert_eq!(cohort.resolved_at, None);
+    assert_eq!(exact.resolved_at, None);
+}
+
+/// Same agreement under jamming: jammed slots read as `Collision`, so the
+/// probe needs more rounds to collect its Nulls — and both engines must
+/// still agree, because the silent channel gives the (deterministic)
+/// saturating adversary identical histories to jam against.
+#[test]
+fn estimation_stops_both_engines_at_the_same_slot_under_jamming() {
+    let spec = AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating);
+    let config = SimConfig::new(8, CdModel::Strong).with_seed(78).with_max_slots(10_000);
+    let cohort = run_cohort(&config, &spec, || SilencedEstimation::new(5));
+    let exact =
+        run_exact(&config, &spec, |_| Box::new(PerStation::new(SilencedEstimation::new(5))));
+    assert_eq!(exact.slots, cohort.slots, "engines must stop at the same slot");
+    assert!(cohort.counts.jammed > 0, "the adversary must actually jam");
+    assert!(!cohort.timed_out && !exact.timed_out);
+    assert_eq!(exact.counts, cohort.counts, "identical deterministic channel sequences");
+}
