@@ -121,6 +121,20 @@ impl JamBudget {
         self.total_jams
     }
 
+    /// Fraction of the jamming allowance spent so far: committed jams over
+    /// `⌊(1−ε)·max(now, T)⌋` (windows shorter than `T` are measured
+    /// against the `T`-slot allowance they are borrowing from). `0.0` when
+    /// the allowance is zero; may briefly exceed `1.0` inside a window
+    /// shorter than `T`, where bursts beyond the pro-rata bound are legal.
+    pub fn spent_fraction(&self) -> f64 {
+        let allowance = self.eps.allowance(self.now.max(self.t_window));
+        if allowance == 0 {
+            0.0
+        } else {
+            self.total_jams as f64 / allowance as f64
+        }
+    }
+
     /// `G(x)` for the *current* prefix (`x = now`), assuming `add` extra
     /// jams.
     #[inline]

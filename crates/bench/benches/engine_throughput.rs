@@ -10,10 +10,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_cohort_in, run_exact, run_exact_in, PerStation, SimArena, SimConfig,
-    UniformProtocol,
+    run_cohort, run_cohort_in, run_exact, run_exact_in, CohortStations, EngineMetrics, PerStation,
+    SimArena, SimConfig, SimCore, TelemetryObserver, UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState};
+use jle_telemetry::MetricRegistry;
 use std::hint::black_box;
 
 /// Never-resolving workload: every station always transmits.
@@ -127,9 +128,45 @@ fn bench_exact_short(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // A/B for the telemetry tax on the hot loop, same machine, same
+    // binary. `disabled` is the default path every Monte-Carlo trial
+    // takes (no observer attached — the per-slot cost is an iteration
+    // over an empty observer list), and is the arm held to the <2%
+    // regression budget against the pre-telemetry baseline in
+    // results/BENCH.json. `enabled` attaches the full stack — slot ring,
+    // engine metric counters, per-slot channel-state tallies — and is
+    // expected to cost real time on this cheapest-possible workload
+    // (~20 ns/slot); it is recorded to keep the enabled tax honest, not
+    // held to the 2% budget.
+    let mut group = c.benchmark_group("telemetry_cohort");
+    const SLOTS: u64 = 50_000;
+    const N: u64 = 1 << 16;
+    group.throughput(Throughput::Elements(SLOTS));
+    group.bench_function(BenchmarkId::new("disabled", N), |b| {
+        let adv = sat();
+        b.iter(|| {
+            let config = SimConfig::new(N, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+            black_box(run_cohort(&config, &adv, || AlwaysCollide))
+        })
+    });
+    group.bench_function(BenchmarkId::new("enabled", N), |b| {
+        let adv = sat();
+        let registry = MetricRegistry::new();
+        let metrics = EngineMetrics::register(&registry);
+        b.iter(|| {
+            let config = SimConfig::new(N, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+            let mut obs = TelemetryObserver::new(&config).with_metrics(metrics.clone());
+            let mut stations = CohortStations::new(AlwaysCollide);
+            black_box(SimCore::new(&config, &adv).observe(&mut obs).run(&mut stations))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_cohort, bench_exact, bench_exact_short
+    targets = bench_cohort, bench_exact, bench_exact_short, bench_telemetry
 }
 criterion_main!(benches);

@@ -26,6 +26,7 @@
 use jle_bench::experiments::{run_by_id, ALL_IDS};
 use jle_bench::{ExpContext, ExperimentResult};
 use jle_orchestrator::{CachePolicy, Event, JsonlReporter, Orchestrator, StderrProgress};
+use jle_telemetry::{FlightRecorder, MetricRegistry, SpanRecorder};
 use std::fs;
 use std::path::Path;
 use std::sync::Arc;
@@ -60,7 +61,12 @@ fn usage() -> ! {
          --force            recompute everything, overwrite the store\n  \
          --jobs <n>         worker threads for trial execution\n  \
          --log <path>       append a JSONL run log (telemetry events)\n  \
-         --no-progress      suppress the stderr progress reporter"
+         --no-progress      suppress the stderr progress reporter\n  \
+         --metrics-out <p>  append a versioned metrics snapshot (JSONL) at exit;\n                     \
+         also writes Prometheus text exposition to <p>.prom\n  \
+         --trace-out <p>    write a Chrome trace_event JSON profile at exit\n  \
+         --flight-recorder <dir>  dump flight-recorder postmortems (anomalies,\n                     \
+         caught panics, supervisor restarts) into <dir>"
     );
     std::process::exit(2);
 }
@@ -75,6 +81,9 @@ struct Cli {
     jobs: Option<usize>,
     log: Option<String>,
     progress: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    flight_dir: Option<String>,
     ids: Vec<String>,
 }
 
@@ -88,6 +97,9 @@ fn parse_args(args: &[String]) -> Cli {
         jobs: None,
         log: None,
         progress: true,
+        metrics_out: None,
+        trace_out: None,
+        flight_dir: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -116,6 +128,9 @@ fn parse_args(args: &[String]) -> Cli {
             }
             "--log" => cli.log = Some(value("--log")),
             "--no-progress" => cli.progress = false,
+            "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")),
+            "--flight-recorder" => cli.flight_dir = Some(value("--flight-recorder")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag {other}");
@@ -131,7 +146,7 @@ fn parse_args(args: &[String]) -> Cli {
     cli
 }
 
-fn build_orchestrator(cli: &Cli) -> Orchestrator {
+fn build_orchestrator(cli: &Cli, registry: &MetricRegistry, tracer: &SpanRecorder) -> Orchestrator {
     let mut orch = if cli.no_cache {
         Orchestrator::ephemeral()
     } else {
@@ -164,7 +179,7 @@ fn build_orchestrator(cli: &Cli) -> Orchestrator {
             Err(e) => eprintln!("warning: cannot open run log {path}: {e}"),
         }
     }
-    orch
+    orch.metrics_registry(registry).tracer(tracer.clone())
 }
 
 fn main() {
@@ -213,14 +228,28 @@ fn main() {
         cli.ids.iter().map(String::as_str).collect()
     };
 
-    let orch = Arc::new(build_orchestrator(&cli));
+    // One registry + tracer for the whole run: the orchestrator's
+    // jle_orchestrator_* counters and the CLI's spans land in the same
+    // exports.
+    let registry = MetricRegistry::new();
+    let tracer =
+        if cli.trace_out.is_some() { SpanRecorder::new() } else { SpanRecorder::disabled() };
+    let orch = Arc::new(build_orchestrator(&cli, &registry, &tracer));
     orch.announce();
-    let ctx = ExpContext::new(cli.quick, Arc::clone(&orch));
+    let mut ctx = ExpContext::new(cli.quick, Arc::clone(&orch));
+    if let Some(dir) = &cli.flight_dir {
+        match FlightRecorder::new(dir) {
+            Ok(rec) => ctx = ctx.with_flight_recorder(Arc::new(rec)),
+            Err(e) => eprintln!("warning: cannot open flight-recorder dir {dir}: {e}"),
+        }
+    }
 
     let out_dir = Path::new("results");
     let mut failed = false;
+    let run_span = tracer.span("cli", "run");
     for id in selected {
         let start = Instant::now();
+        let exp_span = tracer.span("cli", format!("experiment:{id}"));
         orch.emit(&Event::ExperimentStarted { id });
         match run_by_id(id, &ctx) {
             Some(result) => {
@@ -237,8 +266,24 @@ fn main() {
                 failed = true;
             }
         }
+        drop(exp_span);
     }
+    drop(run_span);
     orch.summarize();
+    if let Some(path) = &cli.metrics_out {
+        if let Err(e) = registry.write_snapshot_jsonl(path) {
+            eprintln!("warning: could not write metrics snapshot {path}: {e}");
+        }
+        let prom = format!("{path}.prom");
+        if let Err(e) = registry.write_prometheus(&prom) {
+            eprintln!("warning: could not write Prometheus exposition {prom}: {e}");
+        }
+    }
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = tracer.write_chrome_trace(path) {
+            eprintln!("warning: could not write Chrome trace {path}: {e}");
+        }
+    }
     if failed {
         std::process::exit(1);
     }

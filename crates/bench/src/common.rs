@@ -5,6 +5,7 @@ use jle_analysis::{Figure, Summary, Table};
 use jle_engine::{run_cohort, RunReport, SimConfig, SlotCost, UniformProtocol};
 use jle_orchestrator::{Orchestrator, WorkSpec};
 use jle_radio::CdModel;
+use jle_telemetry::FlightRecorder;
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
@@ -89,18 +90,33 @@ pub struct ExpContext {
     /// Trim sweeps and trial counts for smoke testing.
     pub quick: bool,
     orch: Arc<Orchestrator>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl ExpContext {
     /// A context submitting work through `orch`.
     pub fn new(quick: bool, orch: Arc<Orchestrator>) -> Self {
-        ExpContext { quick, orch }
+        ExpContext { quick, orch, flight: None }
     }
 
     /// A context with no cache and no reporters — unit tests and doc
     /// examples.
     pub fn ephemeral(quick: bool) -> Self {
         Self::new(quick, Arc::new(Orchestrator::ephemeral()))
+    }
+
+    /// Builder: dump flight-recorder postmortems (anomalous runs, caught
+    /// panics, supervisor restarts) into `recorder`'s directory. Only
+    /// *executed* trials can dump — cache-served trials never re-run, so
+    /// a warm sweep produces no artifacts.
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// The flight recorder, if one is attached.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// The underlying orchestrator (for telemetry and stats).

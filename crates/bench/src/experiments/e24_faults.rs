@@ -29,17 +29,21 @@
 //! validity is retained at the price of extra slots.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::common::{median, saturating, ExpContext, ExperimentResult};
 use jle_adversary::AdversarySpec;
 use jle_analysis::{fmt, Figure, Series, Table};
 use jle_engine::{
-    catch_trial, run_exact_faulty, FaultPlan, Outcome, PerStation, Protocol, RunReport, SimConfig,
-    TrialOutcome,
+    catch_trial, run_exact_faulty, FaultPlan, FaultyStations, Outcome, PerStation, Protocol,
+    RunReport, SimConfig, SimCore, TelemetryObserver, TrialOutcome,
 };
-use jle_protocols::{LeskProtocol, LesuProtocol, Supervisor};
+use jle_orchestrator::WorkSpec;
+use jle_protocols::{
+    LeskProtocol, LesuProtocol, RestartCause, RestartRecord, RestartSink, Supervisor,
+};
 use jle_radio::CdModel;
+use jle_telemetry::AnomalyKind;
 use serde::{Serialize, Value};
 
 const N: u64 = 24;
@@ -120,16 +124,68 @@ fn run_arm<F, G>(
 ) -> ArmStats
 where
     F: Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static,
-    G: Fn(Arc<AtomicU64>) -> F + Sync,
+    G: Fn(Arc<AtomicU64>, Option<RestartSink>) -> F + Sync,
 {
+    // With a flight recorder attached, executed trials run with a
+    // TelemetryObserver (pure instrumentation, proven to leave the RNG
+    // stream untouched), so anomalous runs, caught panics, and
+    // supervisor restarts all leave replayable postmortems stamped with
+    // this unit's cache fingerprint.
+    let recorder = ctx.flight_recorder().cloned();
+    let metrics = recorder
+        .as_ref()
+        .map(|_| jle_engine::EngineMetrics::register(ctx.orchestrator().stats().registry()));
+    let fingerprint = recorder.as_ref().map(|_| {
+        ctx.orchestrator().fingerprint_hex::<(TrialOutcome<RunReport>, u64)>(&WorkSpec::new(
+            "e24",
+            point,
+            params.clone(),
+            base_seed,
+        ))
+    });
     let outcomes: Vec<(TrialOutcome<RunReport>, u64)> =
         ctx.run_trials("e24", point, params, base_seed, trials, |seed| {
             let spawns = Arc::new(AtomicU64::new(0));
-            let factory = mk_factory(Arc::clone(&spawns));
+            let restarts: Arc<Mutex<Vec<RestartRecord>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink: Option<RestartSink> = recorder.as_ref().map(|_| {
+                let log = Arc::clone(&restarts);
+                Arc::new(move |r: &RestartRecord| log.lock().expect("restart log").push(*r))
+                    as RestartSink
+            });
+            let factory = mk_factory(Arc::clone(&spawns), sink);
             let out = catch_trial(|| {
                 let config = SimConfig::new(N, CdModel::Strong).with_seed(seed).with_max_slots(cap);
-                run_exact_faulty(&config, adv, &plan_of(seed), factory)
+                let plan = plan_of(seed);
+                match &recorder {
+                    None => run_exact_faulty(&config, adv, &plan, factory),
+                    Some(rec) => {
+                        let mut obs = TelemetryObserver::new(&config)
+                            .with_flight_recorder(Arc::clone(rec))
+                            .with_context("experiment", "e24")
+                            .with_context("point", point);
+                        if let Some(m) = &metrics {
+                            obs = obs.with_metrics(m.clone());
+                        }
+                        if let Some(fp) = &fingerprint {
+                            obs = obs.with_fingerprint(fp.clone());
+                        }
+                        let mut stations = FaultyStations::new(&config, &plan, factory);
+                        let report =
+                            SimCore::new(&config, adv).observe(&mut obs).run(&mut stations);
+                        let log = restarts.lock().expect("restart log");
+                        if !log.is_empty() {
+                            obs.dump_anomaly(
+                                AnomalyKind::SupervisorRestart,
+                                summarize_restarts(&log),
+                            );
+                        }
+                        report
+                    }
+                }
             });
+            if let (Some(rec), Some(msg)) = (&recorder, out.panic_message()) {
+                let _ = jle_engine::telemetry::dump_panic(rec, seed, fingerprint.as_deref(), msg);
+            }
             (out, spawns.load(Ordering::Relaxed))
         });
     let panics = outcomes.iter().filter(|(o, _)| o.is_panicked()).count() as u64;
@@ -151,25 +207,47 @@ where
     }
 }
 
+/// One line attributing a trial's supervisor restarts by cause, for the
+/// flight-recorder detail field.
+fn summarize_restarts(log: &[RestartRecord]) -> String {
+    let count = |c: RestartCause| log.iter().filter(|r| r.cause == c).count();
+    format!(
+        "{} supervisor restart(s): {} wedged, {} crashed, {} cap; first at slot {} (window {})",
+        log.len(),
+        count(RestartCause::Wedged),
+        count(RestartCause::Crashed),
+        count(RestartCause::Cap),
+        log[0].slot,
+        log[0].window,
+    )
+}
+
 /// A bare LESK station factory (no respawn counting).
 fn bare_lesk() -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static {
     move |_| Box::new(PerStation::new(LeskProtocol::new(EPS)))
 }
 
-/// A supervised LESK factory whose inner respawns bump `counter`.
+/// A supervised LESK factory whose inner respawns bump `counter` and
+/// whose restart records (if `sink` is given) feed the flight recorder.
 fn supervised_lesk(
     watchdog: u64,
     counter: Arc<AtomicU64>,
+    sink: Option<RestartSink>,
 ) -> impl Fn(u64) -> Box<dyn Protocol> + Send + Sync + 'static {
     move |_| {
         let c = Arc::clone(&counter);
-        Box::new(Supervisor::new(
+        let sup = Supervisor::new(
             watchdog,
             Box::new(move || {
                 c.fetch_add(1, Ordering::Relaxed);
                 Box::new(PerStation::new(LeskProtocol::new(EPS)))
             }),
-        ))
+        );
+        let sup = match &sink {
+            Some(s) => sup.with_restart_sink(Arc::clone(s)),
+            None => sup,
+        };
+        Box::new(sup)
     }
 }
 
@@ -225,7 +303,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             &adv,
             &plan_of,
             false,
-            |_| bare_lesk(),
+            |_, _| bare_lesk(),
         );
         let sup = run_arm(
             ctx,
@@ -237,7 +315,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             &adv,
             &plan_of,
             true,
-            |c| supervised_lesk(WATCHDOG, c),
+            |c, sink| supervised_lesk(WATCHDOG, c, sink),
         );
         dominance_held &= sup.valid >= bare.valid;
         s_bare.push(crash, bare.valid);
@@ -308,7 +386,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             &adv,
             &plan_of,
             false,
-            |_| bare_lesk(),
+            |_, _| bare_lesk(),
         );
         let sup = run_arm(
             ctx,
@@ -320,7 +398,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             &adv,
             &plan_of,
             true,
-            |c| supervised_lesk(WATCHDOG, c),
+            |c, sink| supervised_lesk(WATCHDOG, c, sink),
         );
         t2.push_row([
             format!("{stagger}"),
@@ -374,7 +452,9 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
         &adv,
         &churn_plan,
         false,
-        |_| move |_: u64| -> Box<dyn Protocol> { Box::new(PerStation::new(LesuProtocol::new())) },
+        |_, _| {
+            move |_: u64| -> Box<dyn Protocol> { Box::new(PerStation::new(LesuProtocol::new())) }
+        },
     );
     let lesu_sup = run_arm(
         ctx,
@@ -386,16 +466,21 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
         &adv,
         &churn_plan,
         true,
-        |ctr| {
+        |ctr, sink| {
             move |_: u64| -> Box<dyn Protocol> {
                 let c = Arc::clone(&ctr);
-                Box::new(Supervisor::new(
+                let sup = Supervisor::new(
                     WATCHDOG,
                     Box::new(move || {
                         c.fetch_add(1, Ordering::Relaxed);
                         Box::new(PerStation::new(LesuProtocol::new()))
                     }),
-                ))
+                );
+                let sup = match &sink {
+                    Some(s) => sup.with_restart_sink(Arc::clone(s)),
+                    None => sup,
+                };
+                Box::new(sup)
             }
         },
     );
@@ -446,7 +531,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
         &adv,
         &stress_plan,
         false,
-        |_| bare_lesk(),
+        |_, _| bare_lesk(),
     );
     t4.push_row([
         "bare (no supervisor)".into(),
@@ -468,7 +553,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             &adv,
             &stress_plan,
             true,
-            |c| supervised_lesk(w, c),
+            |c, sink| supervised_lesk(w, c, sink),
         );
         t4.push_row([
             format!("{w}"),
@@ -505,11 +590,86 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use jle_telemetry::{FlightRecord, FlightRecorder};
+
     #[test]
     fn quick_run_is_consistent() {
         let r = super::run(&crate::common::ExpContext::ephemeral(true));
         assert_eq!(r.tables.len(), 4);
         assert_eq!(r.figures.len(), 1);
         assert!(r.notes.iter().any(|n| n.contains("HELD")), "dominance must hold: {:?}", r.notes);
+    }
+
+    /// The flight recorder is pure instrumentation (identical arm stats
+    /// with and without it), its postmortems parse, and the documented
+    /// replay — re-run the unit's config at the record's seed —
+    /// reproduces the recorded trial exactly.
+    #[test]
+    fn flight_recorder_is_invisible_and_artifacts_replay() {
+        let dir = std::env::temp_dir().join(format!("jle-e24-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Arc::new(FlightRecorder::new(&dir).unwrap());
+        let plain = ExpContext::ephemeral(true);
+        let wired = ExpContext::ephemeral(true).with_flight_recorder(Arc::clone(&recorder));
+
+        let adv = saturating(EPS, T_WINDOW);
+        let cap = 60_000;
+        let watchdog = 64; // aggressive on purpose: restarts must fire
+        let plan_of = move |seed: u64| {
+            FaultPlan::new(seed ^ PLAN_SALT)
+                .with_random_crashes(N, 0.3, CRASH_WINDOW)
+                .with_sensing_flips(N, FLIP)
+        };
+        let params = arm_params(
+            &adv,
+            cap,
+            serde_json::json!({"test": "flight"}),
+            serde_json::json!({"proto": "lesk", "eps": EPS}),
+            Some(watchdog),
+        );
+        let run = |ctx: &ExpContext| {
+            run_arm(
+                ctx,
+                "flight/sup",
+                params.clone(),
+                10,
+                9_000,
+                cap,
+                &adv,
+                &plan_of,
+                true,
+                |c, sink| supervised_lesk(watchdog, c, sink),
+            )
+        };
+        let a = run(&plain);
+        let b = run(&wired);
+        assert_eq!(a.valid, b.valid, "recorder must not change validity");
+        assert_eq!(a.med_slots, b.med_slots, "recorder must not change slot counts");
+        assert_eq!(a.mean_restarts, b.mean_restarts, "recorder must not change restarts");
+        assert!(recorder.written() > 0, "aggressive watchdog must dump restart postmortems");
+
+        let mut paths: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.file_name().unwrap().to_str().unwrap().contains("supervisor_restart"))
+            .collect();
+        paths.sort();
+        let record: FlightRecord =
+            serde_json::from_str(&std::fs::read_to_string(&paths[0]).unwrap()).unwrap();
+        assert!(record.fingerprint.is_some(), "stamped with the unit's cache key");
+        assert!(record.detail.contains("supervisor restart"), "detail: {}", record.detail);
+        assert!(record.context.iter().any(|(k, v)| k == "experiment" && v == "e24"));
+
+        // Replay: same config + recorded seed reproduces the trial.
+        let spawns = Arc::new(AtomicU64::new(0));
+        let factory = supervised_lesk(watchdog, Arc::clone(&spawns), None);
+        let config = SimConfig::new(N, CdModel::Strong).with_seed(record.seed).with_max_slots(cap);
+        let report = run_exact_faulty(&config, &adv, &plan_of(record.seed), factory);
+        assert_eq!(
+            report.slots, record.slots_seen,
+            "replay at the recorded seed reproduces the recorded trial"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

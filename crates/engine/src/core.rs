@@ -206,6 +206,13 @@ impl Jammer {
         budget.advance(jam);
         jam
     }
+
+    /// The enforcer, for post-run budget accounting (read-only).
+    fn budget(&self) -> &JamBudget {
+        match self {
+            Jammer::CommitFirst { budget, .. } | Jammer::Oracle { budget } => budget,
+        }
+    }
 }
 
 /// The unified slot loop, configured and ready to drive any
@@ -357,6 +364,7 @@ impl<'a> SimCore<'a> {
         }
 
         report.counts = history.counts();
+        report.adv_budget_spent = self.jammer.budget().spent_fraction();
         energy.finish(&mut report);
         if let Some(mut t) = trace_obs {
             t.finish(&mut report);
@@ -365,6 +373,11 @@ impl<'a> SimCore<'a> {
             obs.finish(&mut report);
         }
         stations.finalize(config, &mut report);
+        // Post-finalization pass: observers see the settled report (no
+        // randomness, no mutation — telemetry classification lives here).
+        for obs in self.observers.iter_mut() {
+            obs.after_run(&report);
+        }
         if let Some(arena) = self.arena {
             arena.history = Some(history);
         }

@@ -45,6 +45,7 @@ pub mod observer;
 pub mod protocol;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use crate::core::{SimArena, SimCore, SlotActions, StationSet, ADV_SEED_XOR};
 pub use cohort::{
@@ -58,3 +59,4 @@ pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserv
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
 pub use report::{EnergyStats, Outcome, RunReport, SlotCost};
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};
+pub use telemetry::{EngineMetrics, TelemetryObserver};

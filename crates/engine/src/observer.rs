@@ -41,6 +41,15 @@ pub trait SlotObserver {
     fn finish(&mut self, report: &mut RunReport) {
         let _ = report;
     }
+
+    /// Called once after backend finalization, with the *final* report —
+    /// every field (`cap_hit`, `leader_crashed`, `leaders`, …) is settled.
+    /// Read-only by design: this is where telemetry layers classify
+    /// anomalies and update metrics without being able to perturb the
+    /// result.
+    fn after_run(&mut self, report: &RunReport) {
+        let _ = report;
+    }
 }
 
 /// Blanket impl so `&mut O` can be attached where an observer is expected.
@@ -59,6 +68,9 @@ impl<O: SlotObserver + ?Sized> SlotObserver for &mut O {
     }
     fn finish(&mut self, report: &mut RunReport) {
         (**self).finish(report)
+    }
+    fn after_run(&mut self, report: &RunReport) {
+        (**self).after_run(report)
     }
 }
 

@@ -166,6 +166,12 @@ pub struct RunReport {
     pub noise_slots: u64,
     /// Energy accounting.
     pub energy: EnergyStats,
+    /// Fraction of the adversary's jamming allowance actually spent over
+    /// the run (`total jams / ⌊(1−ε)·max(slots, T)⌋`). Telemetry-only:
+    /// excluded from serialization so cached results and golden fixtures
+    /// are unaffected; consumed by `jle_telemetry` gauges.
+    #[serde(skip)]
+    pub adv_budget_spent: f64,
     /// Full trace if requested.
     #[serde(skip)]
     pub trace: Option<Trace>,

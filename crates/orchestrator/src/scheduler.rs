@@ -14,6 +14,7 @@ use crate::fingerprint::{canonical_json, canonicalize, Fingerprint, WorkSpec};
 use crate::store::ResultStore;
 use crate::telemetry::{Event, Reporter, Stats, StatsSnapshot};
 use jle_engine::{MonteCarlo, SlotCost};
+use jle_telemetry::{MetricRegistry, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +81,7 @@ pub struct Orchestrator {
     salt: String,
     reporters: Vec<Box<dyn Reporter>>,
     stats: Arc<Stats>,
+    tracer: SpanRecorder,
     /// Test hook: when set, each executed (not cached) chunk decrements
     /// the budget; at zero the unit aborts with [`Interrupted`], modelling
     /// a mid-sweep kill at a checkpoint boundary.
@@ -99,6 +101,7 @@ impl Orchestrator {
             salt: DEFAULT_CODE_SALT.to_string(),
             reporters: Vec::new(),
             stats: Arc::new(Stats::default()),
+            tracer: SpanRecorder::disabled(),
             chunk_budget: None,
             started: Instant::now(),
         }
@@ -144,6 +147,23 @@ impl Orchestrator {
         self
     }
 
+    /// Register the run counters on a shared [`MetricRegistry`] instead
+    /// of a private one, so `jle_orchestrator_*` metrics export alongside
+    /// other families (e.g. the engine's `jle_engine_*`). Counts already
+    /// accumulated on the private registry are discarded — call this
+    /// before submitting work.
+    pub fn metrics_registry(mut self, registry: &MetricRegistry) -> Self {
+        self.stats = Arc::new(Stats::on_registry(registry));
+        self
+    }
+
+    /// Record unit/chunk spans on `tracer` (see
+    /// [`SpanRecorder::to_chrome_trace`]). Disabled by default.
+    pub fn tracer(mut self, tracer: SpanRecorder) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Test hook: abort after `chunks` executed chunks (see
     /// [`Interrupted::ChunkBudgetExhausted`]).
     pub fn chunk_budget(mut self, chunks: u64) -> Self {
@@ -183,9 +203,17 @@ impl Orchestrator {
         self.emit(&Event::RunStarted { jobs: self.effective_jobs() });
     }
 
-    /// Emit the closing [`Event::RunSummary`].
+    /// Emit the closing [`Event::RunSummary`] and cross-check the two
+    /// slot tallies ([`Stats::check_slot_accounting`]): after the final
+    /// chunk flush, live-counted slots must not exceed chunk-counted
+    /// ones. A violation panics in debug builds and warns on stderr in
+    /// release builds.
     pub fn summarize(&self) {
         self.emit(&Event::RunSummary { stats: self.stats.snapshot(), wall_secs: self.wall_secs() });
+        if let Err(msg) = self.stats.check_slot_accounting() {
+            debug_assert!(false, "{msg}");
+            eprintln!("orchestrator: WARNING: {msg}");
+        }
     }
 
     fn chunk_ranges(&self, trials: u64) -> Vec<(u64, u64)> {
@@ -213,6 +241,8 @@ impl Orchestrator {
         F: Fn(u64) -> R + Sync,
     {
         let unit_started = Instant::now();
+        let _unit_span =
+            self.tracer.span("orchestrator", format!("unit:{}/{}", spec.experiment, spec.point));
         let key = Fingerprint::of(spec, &self.salt, std::any::type_name::<R>());
         let store = match self.policy {
             CachePolicy::Off => None,
@@ -220,8 +250,8 @@ impl Orchestrator {
         };
         let ranges = self.chunk_ranges(trials);
 
-        self.stats.add(&self.stats.units, 1);
-        self.stats.add(&self.stats.planned_trials, trials);
+        self.stats.units.add(1);
+        self.stats.planned_trials.add(trials);
 
         // Phase 1: what does the store already hold?
         let mut cached: Vec<Option<Vec<R>>> = Vec::with_capacity(ranges.len());
@@ -249,9 +279,9 @@ impl Orchestrator {
         for c in &cached {
             let counter =
                 if c.is_some() { &self.stats.chunk_hits } else { &self.stats.chunk_misses };
-            self.stats.add(counter, 1);
+            counter.add(1);
         }
-        self.stats.add(&self.stats.cached_trials, cached_trials);
+        self.stats.cached_trials.add(cached_trials);
         self.emit(&Event::UnitStarted {
             experiment: &spec.experiment,
             point: &spec.point,
@@ -286,8 +316,10 @@ impl Orchestrator {
                 budget.store(left - 1, Ordering::Relaxed);
             }
             let len = end - start;
+            let chunk_span = self.tracer.span("orchestrator", format!("chunk:{start}..{end}"));
             let mc = MonteCarlo::new(len, spec.base_seed + start).with_jobs(self.jobs.unwrap_or(0));
             let results = mc.run(&f);
+            drop(chunk_span);
             if let Some(store) = store {
                 // Persist best-effort: an unwritable cache degrades to
                 // recomputation next run, never to failure now.
@@ -296,8 +328,8 @@ impl Orchestrator {
             let slots: u64 = results.iter().map(SlotCost::simulated_slots).sum();
             executed_trials += len;
             executed_slots += slots;
-            self.stats.add(&self.stats.executed_trials, len);
-            self.stats.add(&self.stats.simulated_slots, slots);
+            self.stats.executed_trials.add(len);
+            self.stats.simulated_slots.add(slots);
 
             let elapsed = exec_started.elapsed().as_secs_f64().max(1e-9);
             let trials_per_sec = executed_trials as f64 / elapsed;
@@ -345,6 +377,14 @@ impl Orchestrator {
     /// diagnostics and tests.
     pub fn canonical_spec_json(&self, spec: &WorkSpec) -> String {
         canonical_json(&spec.to_value())
+    }
+
+    /// The content-addressed cache key this orchestrator derives for
+    /// `spec` with result type `R` — the config fingerprint stamped into
+    /// flight-recorder postmortems, so an artifact names the exact unit
+    /// to replay.
+    pub fn fingerprint_hex<R>(&self, spec: &WorkSpec) -> String {
+        Fingerprint::of(spec, &self.salt, std::any::type_name::<R>()).hex().to_string()
     }
 }
 
@@ -454,6 +494,26 @@ mod tests {
         assert_eq!(warm.stats_snapshot().executed_trials, 0);
         assert_eq!((a, b), (a2, b2));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_and_shared_registry_cover_executed_work() {
+        let registry = MetricRegistry::new();
+        let tracer = SpanRecorder::new();
+        let orch = Orchestrator::ephemeral()
+            .chunk_size(8)
+            .metrics_registry(&registry)
+            .tracer(tracer.clone());
+        let got: Vec<u64> = orch.run_trials(&spec(), 20, trial);
+        orch.summarize();
+        assert_eq!(got, MonteCarlo::new(20, 5000).run(trial), "telemetry must not perturb results");
+        assert_eq!(tracer.len(), 4, "one unit span + three chunk spans (8+8+4)");
+        let trace = tracer.to_chrome_trace();
+        assert!(trace.contains("unit:eT/unit"), "trace names the unit: {trace}");
+        assert!(trace.contains("chunk:16..20"), "trace names the trailing chunk: {trace}");
+        let text = registry.render_prometheus();
+        assert!(text.contains("jle_orchestrator_executed_trials 20"), "{text}");
+        assert!(text.contains("jle_orchestrator_units 1"), "{text}");
     }
 
     #[test]

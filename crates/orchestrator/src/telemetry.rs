@@ -6,37 +6,52 @@
 //! shared [`Stats`] so the CLI can print (and CI can assert on) totals —
 //! most importantly `executed_trials == 0` for a fully warm cache.
 
+use jle_telemetry::{Counter, MetricRegistry};
 use serde::{Serialize, Value};
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Monotonic run counters, shared between the scheduler and the CLI.
-#[derive(Debug, Default)]
+///
+/// Since PR 4 this is a *view* over a [`MetricRegistry`] — each field is
+/// a handle to a registered `jle_orchestrator_*` counter, so the same
+/// numbers the CLI prints are exported by `--metrics-out` without a
+/// parallel counter world. Build with [`Stats::on_registry`] to share a
+/// registry with other subsystems (the engine's `jle_engine_*` family,
+/// the CLI); `Stats::default()` keeps a private registry.
+#[derive(Debug, Clone)]
 pub struct Stats {
+    registry: MetricRegistry,
     /// Trials requested across all submitted units.
-    pub planned_trials: AtomicU64,
+    pub planned_trials: Counter,
     /// Trials actually simulated this run.
-    pub executed_trials: AtomicU64,
+    pub executed_trials: Counter,
     /// Trials served from the cache.
-    pub cached_trials: AtomicU64,
+    pub cached_trials: Counter,
     /// Chunk-granularity cache hits.
-    pub chunk_hits: AtomicU64,
+    pub chunk_hits: Counter,
     /// Chunk-granularity cache misses.
-    pub chunk_misses: AtomicU64,
+    pub chunk_misses: Counter,
     /// Channel slots simulated by executed trials (see
     /// [`jle_engine::SlotCost`]).
-    pub simulated_slots: AtomicU64,
+    pub simulated_slots: Counter,
     /// Channel slots reported **live** from inside running slot loops by
     /// [`Stats::live_slot_sink`]-wired `jle_engine::ThroughputObserver`s.
     /// Unlike [`Stats::simulated_slots`], which is credited only after a
     /// chunk completes, this counter moves while a long simulation is
     /// still mid-loop — the live slots/sec signal. The two counters are
-    /// independent tallies of the same work, not additive.
-    pub live_slots: AtomicU64,
+    /// independent tallies of the same work, not additive; see
+    /// [`Stats::check_slot_accounting`] for the invariant tying them.
+    pub live_slots: Counter,
     /// Work units submitted.
-    pub units: AtomicU64,
+    pub units: Counter,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats::on_registry(&MetricRegistry::new())
+    }
 }
 
 /// A point-in-time copy of [`Stats`], serializable into the run log.
@@ -61,22 +76,56 @@ pub struct StatsSnapshot {
 }
 
 impl Stats {
-    /// Copy the counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            planned_trials: self.planned_trials.load(Ordering::Relaxed),
-            executed_trials: self.executed_trials.load(Ordering::Relaxed),
-            cached_trials: self.cached_trials.load(Ordering::Relaxed),
-            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
-            chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
-            simulated_slots: self.simulated_slots.load(Ordering::Relaxed),
-            live_slots: self.live_slots.load(Ordering::Relaxed),
-            units: self.units.load(Ordering::Relaxed),
+    /// Register the orchestrator counter family on `registry` and return
+    /// handles to it. Registration is idempotent: calling this twice on
+    /// the same registry yields two `Stats` views over the *same*
+    /// underlying counters.
+    pub fn on_registry(registry: &MetricRegistry) -> Self {
+        Stats {
+            registry: registry.clone(),
+            planned_trials: registry.counter(
+                "jle_orchestrator_planned_trials",
+                "Trials requested across all submitted units",
+            ),
+            executed_trials: registry
+                .counter("jle_orchestrator_executed_trials", "Trials actually simulated this run"),
+            cached_trials: registry
+                .counter("jle_orchestrator_cached_trials", "Trials served from the cache"),
+            chunk_hits: registry
+                .counter("jle_orchestrator_chunk_hits", "Chunk-granularity cache hits"),
+            chunk_misses: registry
+                .counter("jle_orchestrator_chunk_misses", "Chunk-granularity cache misses"),
+            simulated_slots: registry.counter(
+                "jle_orchestrator_simulated_slots",
+                "Channel slots simulated by executed trials",
+            ),
+            live_slots: registry.counter(
+                "jle_orchestrator_live_slots",
+                "Channel slots reported live from inside running slot loops",
+            ),
+            units: registry.counter("jle_orchestrator_units", "Work units submitted"),
         }
     }
 
-    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// The registry the counters are registered on — share it with other
+    /// metric families or export it with
+    /// `MetricRegistry::write_snapshot_jsonl`.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            planned_trials: self.planned_trials.get(),
+            executed_trials: self.executed_trials.get(),
+            cached_trials: self.cached_trials.get(),
+            chunk_hits: self.chunk_hits.get(),
+            chunk_misses: self.chunk_misses.get(),
+            simulated_slots: self.simulated_slots.get(),
+            live_slots: self.live_slots.get(),
+            units: self.units.get(),
+        }
     }
 
     /// A batch sink for `jle_engine::ThroughputObserver` that feeds
@@ -84,13 +133,32 @@ impl Stats {
     /// `ThroughputObserver::new(interval, stats.live_slot_sink())` to a
     /// `SimCore` and the run's progress becomes visible here *while the
     /// slot loop is still running*, at one relaxed atomic add per
-    /// `interval` slots. Trial closures capture `&Stats` (the add takes
-    /// `&self`), so the sink composes with the scheduler's `Fn + Sync`
-    /// trial bound.
-    pub fn live_slot_sink(&self) -> impl FnMut(u64) + '_ {
-        move |batch| {
-            self.live_slots.fetch_add(batch, Ordering::Relaxed);
+    /// `interval` slots. The closure owns a counter handle, so it is
+    /// `'static` and composes with the scheduler's `Fn + Sync` trial
+    /// bound without borrowing `Stats`.
+    pub fn live_slot_sink(&self) -> impl FnMut(u64) + Send + 'static {
+        let live = self.live_slots.clone();
+        move |batch| live.add(batch)
+    }
+
+    /// Cross-check the two slot tallies. `live_slots` is credited from
+    /// inside slot loops (and only on runs with a live sink attached);
+    /// `simulated_slots` is credited per finished chunk from the stored
+    /// `SlotCost`. After the final chunk flush every live-counted slot
+    /// has also been chunk-counted, so `live <= simulated` must hold —
+    /// a violation means a tally was double-counted or a sink was wired
+    /// to work that never reached the store. Returns `Err` with both
+    /// values on violation.
+    pub fn check_slot_accounting(&self) -> Result<(), String> {
+        let snap = self.snapshot();
+        if snap.live_slots > snap.simulated_slots {
+            return Err(format!(
+                "slot accounting violated: live_slots ({}) > simulated_slots ({}) \
+                 after final flush",
+                snap.live_slots, snap.simulated_slots
+            ));
         }
+        Ok(())
     }
 }
 
@@ -417,12 +485,35 @@ mod tests {
     #[test]
     fn snapshot_copies_counters() {
         let s = Stats::default();
-        s.add(&s.executed_trials, 5);
-        s.add(&s.chunk_hits, 2);
+        s.executed_trials.add(5);
+        s.chunk_hits.add(2);
         let snap = s.snapshot();
         assert_eq!(snap.executed_trials, 5);
         assert_eq!(snap.chunk_hits, 2);
         assert_eq!(snap.cached_trials, 0);
+    }
+
+    #[test]
+    fn stats_are_views_over_the_registry() {
+        let registry = MetricRegistry::new();
+        let a = Stats::on_registry(&registry);
+        let b = Stats::on_registry(&registry);
+        a.executed_trials.add(3);
+        assert_eq!(b.executed_trials.get(), 3, "same registry -> same counters");
+        let text = registry.render_prometheus();
+        assert!(text.contains("jle_orchestrator_executed_trials 3"), "exported:\n{text}");
+    }
+
+    #[test]
+    fn slot_accounting_check_catches_live_overrun() {
+        let s = Stats::default();
+        s.live_slots.add(10);
+        s.simulated_slots.add(10);
+        assert!(s.check_slot_accounting().is_ok(), "live == simulated is fine");
+        s.live_slots.add(1);
+        let err = s.check_slot_accounting().unwrap_err();
+        assert!(err.contains("live_slots (11)"), "got: {err}");
+        assert!(err.contains("simulated_slots (10)"), "got: {err}");
     }
 
     #[test]

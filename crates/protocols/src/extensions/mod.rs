@@ -27,4 +27,6 @@ pub use duty_cycle::DutyCycledLesk;
 pub use fair_use::{run_fair_use, targeted_tdma_jammer, FairUseReport};
 pub use k_selection::{run_k_selection, KSelectionReport};
 pub use size_approx::SizeApproxProtocol;
-pub use supervisor::{RestartFactory, Supervisor};
+pub use supervisor::{
+    RestartCause, RestartFactory, RestartRecord, RestartSink, Supervisor, BACKOFF_CAP_DOUBLINGS,
+};

@@ -26,9 +26,83 @@ use crate::lesk::LeskProtocol;
 use jle_engine::{PerStation, Protocol, Status};
 use jle_radio::cd::Observation;
 use rand::RngCore;
+use serde::Value;
+use std::sync::Arc;
 
 /// Factory building a fresh inner election instance on each (re)start.
 pub type RestartFactory = Box<dyn FnMut() -> Box<dyn Protocol> + Send>;
+
+/// Shared sink receiving every [`RestartRecord`] as it happens — wire one
+/// across all stations of a trial to attribute restarts in a run log or
+/// flight recorder.
+pub type RestartSink = Arc<dyn Fn(&RestartRecord) + Send + Sync>;
+
+/// Doublings after which further backoff is classified as
+/// [`RestartCause::Cap`]: the watchdog has grown `2^10` times past its
+/// initial window, so restarting is no longer plausibly productive and
+/// the run is presumed headed for the slot cap. Classification only —
+/// the supervisor still restarts (behaviour is unchanged).
+pub const BACKOFF_CAP_DOUBLINGS: u32 = 10;
+
+/// Why a [`Supervisor`] watchdog fired, classified from what the station
+/// itself observed during the silent window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartCause {
+    /// The silent window saw channel activity (collisions, jammed slots,
+    /// or this station's own transmissions): the election is live but
+    /// not resolving — wedged by contention or jamming.
+    Wedged,
+    /// The silent window was entirely `Null` and this station never
+    /// transmitted: the network went dark mid-election, consistent with
+    /// crashed or asleep peers (including a crashed would-be leader).
+    Crashed,
+    /// The watchdog had already backed off [`BACKOFF_CAP_DOUBLINGS`]
+    /// times: restarts stopped being productive and the run is presumed
+    /// headed for the slot cap.
+    Cap,
+}
+
+impl RestartCause {
+    /// Stable snake_case label for logs and flight-recorder artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestartCause::Wedged => "wedged",
+            RestartCause::Crashed => "crashed",
+            RestartCause::Cap => "cap",
+        }
+    }
+}
+
+/// One watchdog firing, ready for a JSONL run log or flight-recorder
+/// context (see [`RestartRecord::to_json_value`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// Slot whose feedback fired the watchdog.
+    pub slot: u64,
+    /// Classified cause (see [`RestartCause`]).
+    pub cause: RestartCause,
+    /// The window that expired (pre-backoff).
+    pub window: u64,
+    /// Consecutive silent slots when the watchdog fired (== `window`).
+    pub silence: u64,
+    /// Zero-based index of this restart on this station.
+    pub restart_index: u32,
+}
+
+impl RestartRecord {
+    /// Render as a structured JSON object
+    /// (`{"ev":"supervisor_restart","cause":"wedged",...}`).
+    pub fn to_json_value(&self) -> Value {
+        Value::Map(vec![
+            ("ev".into(), Value::Str("supervisor_restart".into())),
+            ("slot".into(), Value::U64(self.slot)),
+            ("cause".into(), Value::Str(self.cause.label().into())),
+            ("window".into(), Value::U64(self.window)),
+            ("silence".into(), Value::U64(self.silence)),
+            ("restart_index".into(), Value::U64(self.restart_index as u64)),
+        ])
+    }
+}
 
 /// A per-station restart supervisor (see module docs).
 pub struct Supervisor {
@@ -38,6 +112,10 @@ pub struct Supervisor {
     window: u64,
     silence: u64,
     restarts: u32,
+    /// Whether the current silent window saw any channel activity.
+    busy_in_window: bool,
+    restart_log: Vec<RestartRecord>,
+    sink: Option<RestartSink>,
 }
 
 impl Supervisor {
@@ -57,7 +135,19 @@ impl Supervisor {
             window: watchdog_window,
             silence: 0,
             restarts: 0,
+            busy_in_window: false,
+            restart_log: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Builder: forward every [`RestartRecord`] to `sink` as it happens
+    /// (in addition to keeping it in [`Supervisor::restart_log`]). The
+    /// sink is shared (`Arc`), so one sink can aggregate restarts across
+    /// all stations of a trial.
+    pub fn with_restart_sink(mut self, sink: RestartSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Convenience: a supervised strong-CD LESK station.
@@ -87,6 +177,21 @@ impl Supervisor {
     pub fn silence(&self) -> u64 {
         self.silence
     }
+
+    /// Every watchdog firing so far, in order, with its classified cause.
+    pub fn restart_log(&self) -> &[RestartRecord] {
+        &self.restart_log
+    }
+
+    fn classify(&self) -> RestartCause {
+        if self.restarts >= BACKOFF_CAP_DOUBLINGS {
+            RestartCause::Cap
+        } else if self.busy_in_window {
+            RestartCause::Wedged
+        } else {
+            RestartCause::Crashed
+        }
+    }
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -106,12 +211,15 @@ impl Protocol for Supervisor {
 
     fn feedback(&mut self, slot: u64, transmitted: bool, obs: Observation) {
         let heard = obs.heard_single();
+        let busy = transmitted || !matches!(obs.effective_state(), jle_radio::ChannelState::Null);
         self.inner.feedback(slot, transmitted, obs);
         if heard {
             self.silence = 0;
+            self.busy_in_window = false;
             return;
         }
         self.silence += 1;
+        self.busy_in_window |= busy;
         // A finished station (an Estimation-style probe that has its
         // answer) is quiet by design, not wedged — never restart it.
         if self.silence >= self.window && !self.inner.status().terminal() && !self.inner.finished()
@@ -119,8 +227,20 @@ impl Protocol for Supervisor {
             // Presumed wedged: re-run the election from fresh state and
             // back the watchdog off so a slow-but-live election is not
             // restarted forever.
+            let record = RestartRecord {
+                slot,
+                cause: self.classify(),
+                window: self.window,
+                silence: self.silence,
+                restart_index: self.restarts,
+            };
+            if let Some(sink) = &self.sink {
+                sink(&record);
+            }
+            self.restart_log.push(record);
             self.inner = (self.factory)();
             self.silence = 0;
+            self.busy_in_window = false;
             self.window = self.window.saturating_mul(2);
             self.restarts += 1;
         }
@@ -226,5 +346,75 @@ mod tests {
     #[should_panic(expected = "watchdog window must be positive")]
     fn rejects_zero_window() {
         let _ = Supervisor::new(0, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+    }
+
+    #[test]
+    fn restart_causes_are_classified_and_logged() {
+        let mut sup = Supervisor::new(4, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+        // First window: all-Null silence, station never transmitted.
+        for slot in 0..4 {
+            sup.feedback(slot, false, null_obs());
+        }
+        // Second window (now 8 slots): collisions — a live but blocked
+        // election.
+        for slot in 4..12 {
+            sup.feedback(slot, false, Observation::State(ChannelState::Collision));
+        }
+        let log = sup.restart_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].cause, RestartCause::Crashed, "dark network reads as crashed peers");
+        assert_eq!((log[0].slot, log[0].window, log[0].restart_index), (3, 4, 0));
+        assert_eq!(log[1].cause, RestartCause::Wedged, "busy channel reads as wedged");
+        assert_eq!((log[1].slot, log[1].window, log[1].restart_index), (11, 8, 1));
+        let v = log[1].to_json_value();
+        assert_eq!(v.get("ev").unwrap().as_str().unwrap(), "supervisor_restart");
+        assert_eq!(v.get("cause").unwrap().as_str().unwrap(), "wedged");
+        assert_eq!(v.get("window").unwrap().as_u64().unwrap(), 8);
+    }
+
+    #[test]
+    fn own_transmission_marks_the_window_busy() {
+        let mut sup = Supervisor::new(4, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+        sup.feedback(0, true, null_obs());
+        for slot in 1..4 {
+            sup.feedback(slot, false, null_obs());
+        }
+        assert_eq!(sup.restart_log()[0].cause, RestartCause::Wedged);
+    }
+
+    #[test]
+    fn deep_backoff_is_classified_as_cap() {
+        let mut sup = Supervisor::new(1, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))));
+        let mut slot = 0u64;
+        while sup.restarts() <= BACKOFF_CAP_DOUBLINGS {
+            sup.feedback(slot, false, null_obs());
+            slot += 1;
+        }
+        let log = sup.restart_log();
+        let last = log.last().unwrap();
+        assert_eq!(last.restart_index, BACKOFF_CAP_DOUBLINGS);
+        assert_eq!(last.cause, RestartCause::Cap, "past the backoff cap");
+        assert_eq!(log[log.len() - 2].cause, RestartCause::Crashed, "one earlier is still normal");
+    }
+
+    #[test]
+    fn restart_sink_sees_records_across_stations() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<RestartRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink: RestartSink = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |r| seen.lock().unwrap().push(*r))
+        };
+        let mut a = Supervisor::new(2, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))))
+            .with_restart_sink(Arc::clone(&sink));
+        let mut b = Supervisor::new(2, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))))
+            .with_restart_sink(sink);
+        for slot in 0..2 {
+            a.feedback(slot, false, null_obs());
+            b.feedback(slot, false, null_obs());
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "one restart per station reached the shared sink");
+        assert!(seen.iter().all(|r| r.cause == RestartCause::Crashed));
     }
 }

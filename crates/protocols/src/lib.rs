@@ -37,7 +37,8 @@ pub use classify::SlotTaxonomy;
 pub use estimation::EstimationProtocol;
 pub use extensions::{
     run_fair_use, run_k_selection, targeted_tdma_jammer, DutyCycledLesk, FairUseReport,
-    KSelectionReport, RestartFactory, SizeApproxProtocol, Supervisor,
+    KSelectionReport, RestartCause, RestartFactory, RestartRecord, RestartSink, SizeApproxProtocol,
+    Supervisor, BACKOFF_CAP_DOUBLINGS,
 };
 pub use lesk::LeskProtocol;
 pub use lesu::LesuProtocol;

@@ -16,9 +16,14 @@
 //! `EstimationProtocol` state machine decides the stop slot on its own.
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
-use jle_engine::{run_cohort, run_exact, PerStation, SimConfig, UniformProtocol};
+use jle_engine::{
+    run_cohort, run_exact, CohortStations, EngineMetrics, ExactStations, PerStation, RunReport,
+    SimConfig, SimCore, TelemetryObserver, UniformProtocol,
+};
 use jle_protocols::estimation::EstimationProtocol;
 use jle_radio::{CdModel, ChannelState};
+use jle_telemetry::{FlightRecorder, MetricRegistry};
+use std::sync::Arc;
 
 /// The real `Estimation(L)` state machine with its transmissions muted.
 #[derive(Debug, Clone)]
@@ -75,4 +80,60 @@ fn estimation_stops_both_engines_at_the_same_slot_under_jamming() {
     assert!(cohort.counts.jammed > 0, "the adversary must actually jam");
     assert!(!cohort.timed_out && !exact.timed_out);
     assert_eq!(exact.counts, cohort.counts, "identical deterministic channel sequences");
+}
+
+/// The full telemetry stack (metric registry + flight recorder attached
+/// as a `TelemetryObserver`) must be invisible to both engines: the
+/// cross-engine scenarios above re-run with telemetry produce reports
+/// that serialize bit-identically to the bare runs.
+#[test]
+fn telemetry_attachment_is_invisible_to_both_engines() {
+    let dir = std::env::temp_dir().join(format!("jle-cross-engine-tel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scenarios: [(u64, AdversarySpec); 2] = [
+        (77, AdversarySpec::passive()),
+        (78, AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating)),
+    ];
+    for (seed, adv) in &scenarios {
+        let config = SimConfig::new(8, CdModel::Strong).with_seed(*seed).with_max_slots(10_000);
+        let bare_cohort = run_cohort(&config, adv, || SilencedEstimation::new(5));
+        let bare_exact =
+            run_exact(&config, adv, |_| Box::new(PerStation::new(SilencedEstimation::new(5))));
+
+        let registry = MetricRegistry::new();
+        let recorder = Arc::new(FlightRecorder::new(&dir).unwrap());
+        let observed = |stations: &mut dyn FnMut(&mut TelemetryObserver) -> RunReport| {
+            let mut obs = TelemetryObserver::new(&config)
+                .with_metrics(EngineMetrics::register(&registry))
+                .with_flight_recorder(Arc::clone(&recorder))
+                .with_fingerprint("cross-engine")
+                .with_context("suite", "cross_engine");
+            stations(&mut obs)
+        };
+        let tel_cohort = observed(&mut |obs| {
+            let mut stations = CohortStations::new(SilencedEstimation::new(5));
+            SimCore::new(&config, adv).observe(obs).run(&mut stations)
+        });
+        let tel_exact = observed(&mut |obs| {
+            let mut stations = ExactStations::new(&config, |_| {
+                Box::new(PerStation::new(SilencedEstimation::new(5)))
+            });
+            SimCore::new(&config, adv).observe(obs).run(&mut stations)
+        });
+
+        let json = |r: &RunReport| serde_json::to_string(r).unwrap();
+        assert_eq!(
+            json(&tel_cohort),
+            json(&bare_cohort),
+            "cohort report must be bit-identical with telemetry attached (seed {seed})"
+        );
+        assert_eq!(
+            json(&tel_exact),
+            json(&bare_exact),
+            "exact report must be bit-identical with telemetry attached (seed {seed})"
+        );
+        assert_eq!(tel_exact.slots, tel_cohort.slots, "engines still agree under telemetry");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,237 @@
+//! Span recording with Chrome `trace_event` export.
+//!
+//! A [`SpanRecorder`] collects completed spans (name, category, start,
+//! duration, thread) relative to its own epoch, and renders them as a
+//! Chrome trace JSON document (`{"traceEvents":[...]}`, `"ph":"X"`
+//! complete events) loadable in `chrome://tracing` or Perfetto.
+//!
+//! Spans are recorded via RAII guards: [`SpanRecorder::span`] starts the
+//! clock, dropping the returned [`SpanGuard`] stops it and appends the
+//! event. A disabled recorder ([`SpanRecorder::disabled`]) hands out
+//! no-op guards — call sites never need to branch.
+
+use serde::Value;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct SpanEvent {
+    name: String,
+    cat: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<SpanEvent>>,
+    threads: Mutex<Vec<ThreadId>>,
+}
+
+/// Shared recorder of completed spans (see the module docs). Clones share
+/// the same buffer; recording is a short mutex-guarded push, cheap at
+/// run/chunk/trial granularity (attach per-slot instrumentation to the
+/// flight ring instead, which is lock-free per trial).
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl SpanRecorder {
+    /// An enabled recorder with its epoch at "now".
+    pub fn new() -> Self {
+        SpanRecorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                threads: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A recorder that drops everything; guards become no-ops.
+    pub fn disabled() -> Self {
+        SpanRecorder { inner: None }
+    }
+
+    /// Whether this recorder keeps spans.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of completed spans recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.events.lock().expect("span buffer").len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Start a span in category `cat` (e.g. `"orchestrator"`); the span
+    /// ends when the guard drops.
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => {
+                SpanGuard { recorder: Some((Arc::clone(inner), name.into(), cat, Instant::now())) }
+            }
+            None => SpanGuard { recorder: None },
+        }
+    }
+
+    /// Stable small integer for the calling thread (Chrome `tid`).
+    fn tid(inner: &Inner) -> u64 {
+        let id = std::thread::current().id();
+        let mut threads = inner.threads.lock().expect("span threads");
+        match threads.iter().position(|t| *t == id) {
+            Some(i) => i as u64,
+            None => {
+                threads.push(id);
+                (threads.len() - 1) as u64
+            }
+        }
+    }
+
+    fn record(inner: &Inner, name: String, cat: &'static str, started: Instant) {
+        let ts_us = started.duration_since(inner.epoch).as_micros() as u64;
+        let dur_us = started.elapsed().as_micros() as u64;
+        let tid = Self::tid(inner);
+        inner.events.lock().expect("span buffer").push(SpanEvent { name, cat, ts_us, dur_us, tid });
+    }
+
+    /// Render all completed spans as a Chrome trace JSON document.
+    pub fn to_chrome_trace(&self) -> String {
+        let events: Vec<Value> = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .events
+                .lock()
+                .expect("span buffer")
+                .iter()
+                .map(|e| {
+                    Value::Map(vec![
+                        ("name".into(), Value::Str(e.name.clone())),
+                        ("cat".into(), Value::Str(e.cat.into())),
+                        ("ph".into(), Value::Str("X".into())),
+                        ("ts".into(), Value::U64(e.ts_us)),
+                        ("dur".into(), Value::U64(e.dur_us)),
+                        ("pid".into(), Value::U64(1)),
+                        ("tid".into(), Value::U64(e.tid)),
+                    ])
+                })
+                .collect(),
+        };
+        let doc = Value::Map(vec![
+            ("traceEvents".into(), Value::Seq(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ]);
+        serde_json::to_string(&doc).expect("trace serialization")
+    }
+
+    /// Write the Chrome trace to `path` (overwriting), creating parent
+    /// directories as needed.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        SpanRecorder::new()
+    }
+}
+
+/// RAII guard for an in-flight span; dropping it records the span.
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Option<(Arc<Inner>, String, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((inner, name, cat, started)) = self.recorder.take() {
+            SpanRecorder::record(&inner, name, cat, started);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_export_chrome_trace() {
+        let rec = SpanRecorder::new();
+        {
+            let _run = rec.span("cli", "run");
+            let _unit = rec.span("orchestrator", "unit:e1/p0");
+        }
+        assert_eq!(rec.len(), 2);
+        let text = rec.to_chrome_trace();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_seq).expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+            assert!(e.get("ts").and_then(Value::as_u64).is_some());
+            assert!(e.get("dur").and_then(Value::as_u64).is_some());
+            assert_eq!(e.get("pid").and_then(Value::as_u64), Some(1));
+        }
+        // Inner span (dropped first) is recorded first.
+        assert_eq!(events[0].get("name").and_then(Value::as_str), Some("unit:e1/p0"));
+        assert_eq!(events[1].get("name").and_then(Value::as_str), Some("run"));
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = SpanRecorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _g = rec.span("cli", "ignored");
+        }
+        assert!(rec.is_empty());
+        let doc: Value = serde_json::from_str(&rec.to_chrome_trace()).unwrap();
+        assert_eq!(doc.get("traceEvents").and_then(Value::as_seq).map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn threads_get_stable_small_tids() {
+        let rec = SpanRecorder::new();
+        {
+            let _a = rec.span("t", "main-1");
+        }
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            let _b = rec2.span("t", "worker");
+        })
+        .join()
+        .unwrap();
+        {
+            let _c = rec.span("t", "main-2");
+        }
+        let text = rec.to_chrome_trace();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+        let tid = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|e| e.get("tid"))
+                .and_then(Value::as_u64)
+                .unwrap()
+        };
+        assert_eq!(tid("main-1"), tid("main-2"), "same thread, same tid");
+        assert_ne!(tid("main-1"), tid("worker"), "different thread, different tid");
+    }
+}
