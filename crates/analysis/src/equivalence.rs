@@ -1,0 +1,249 @@
+//! Two-sample statistical-equivalence tests.
+//!
+//! The fast exact backend (`jle-engine`'s `FastExactStations`) is
+//! validated against the legacy backend *distributionally*: same election
+//! laws, different bits. This module holds the two workhorses of that
+//! validation:
+//!
+//! * [`ks_two_sample`] — Kolmogorov–Smirnov test on continuous-ish
+//!   samples (election-slot counts, energy totals);
+//! * [`chi_square_two_sample`] — chi-square homogeneity test on
+//!   categorical counts (winner identity).
+//!
+//! Both are exposed as plain statistics plus an `alpha = 0.001` decision
+//! helper. The significance level is deliberately conservative: the
+//! cross-backend suite runs on *fixed seeds* (deterministic, non-flaky),
+//! so a rejection means a real distributional discrepancy, not
+//! sampling noise — and at `α = 0.001` a correct backend pair fails a
+//! given comparison one time in a thousand seed choices, which the suite
+//! never re-rolls.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// Supremum distance between the two empirical CDFs.
+    pub statistic: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+    /// Rejection threshold for the statistic at `α = 0.001`.
+    pub critical: f64,
+}
+
+impl KsResult {
+    /// Whether the samples are compatible with one distribution at
+    /// `α = 0.001` (i.e. the test does *not* reject homogeneity).
+    pub fn equivalent(&self) -> bool {
+        self.statistic <= self.critical
+    }
+}
+
+/// `c(α)` for the large-sample KS critical value
+/// `D_crit = c(α) · sqrt((n1 + n2) / (n1 · n2))`, at `α = 0.001`:
+/// `c = sqrt(-ln(α/2) / 2)`.
+const KS_C_ALPHA_001: f64 = 1.9494; // sqrt(-ln(0.0005)/2)
+
+/// Two-sample Kolmogorov–Smirnov test at `α = 0.001`.
+///
+/// Ties (common for slot counts) are handled by advancing both CDFs
+/// through the full run of equal values before comparing — the standard
+/// discrete-data treatment, which makes the test conservative in the
+/// presence of heavy ties.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs non-empty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let v = xs[i].min(ys[j]);
+        while i < n1 && xs[i] <= v {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= v {
+            j += 1;
+        }
+        let fa = i as f64 / n1 as f64;
+        let fb = j as f64 / n2 as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let critical = KS_C_ALPHA_001 * ((n1 + n2) as f64 / (n1 as f64 * n2 as f64)).sqrt();
+    KsResult { statistic: d, n1, n2, critical }
+}
+
+/// Result of a two-sample chi-square homogeneity test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic over the pooled contingency table.
+    pub statistic: f64,
+    /// Degrees of freedom (non-empty categories − 1).
+    pub dof: usize,
+    /// Rejection threshold for the statistic at `α = 0.001`.
+    pub critical: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the two count vectors are compatible with one categorical
+    /// distribution at `α = 0.001`.
+    pub fn equivalent(&self) -> bool {
+        self.dof == 0 || self.statistic <= self.critical
+    }
+}
+
+/// Upper-tail standard-normal quantile `z` for `α = 0.001`.
+const Z_ALPHA_001: f64 = 3.0902;
+
+/// Wilson–Hilferty approximation of the chi-square upper-`α` quantile:
+/// `χ²_crit ≈ k · (1 − 2/(9k) + z_α · sqrt(2/(9k)))³`, accurate to a few
+/// percent for `k ≥ 1` — plenty for a pass/fail gate at `α = 0.001`.
+pub fn chi_square_critical(dof: usize) -> f64 {
+    if dof == 0 {
+        return 0.0;
+    }
+    let k = dof as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + Z_ALPHA_001 * (2.0 / (9.0 * k)).sqrt();
+    k * t.powi(3)
+}
+
+/// Two-sample chi-square homogeneity test on categorical counts at
+/// `α = 0.001`.
+///
+/// `a[k]` and `b[k]` are the observed counts of category `k` in each
+/// sample (e.g. how often station `k` won the election under each
+/// backend). Categories empty in *both* samples are dropped; the
+/// statistic is the standard pooled-expectation form
+/// `Σ (obs − exp)² / exp` over both rows.
+///
+/// # Panics
+/// Panics if the count vectors have different lengths or are all zero.
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> ChiSquareResult {
+    assert_eq!(a.len(), b.len(), "count vectors must align");
+    let total_a: u64 = a.iter().sum();
+    let total_b: u64 = b.iter().sum();
+    assert!(total_a > 0 && total_b > 0, "chi-square needs non-empty samples");
+    let grand = (total_a + total_b) as f64;
+    let mut statistic = 0.0;
+    let mut categories = 0usize;
+    for (&ca, &cb) in a.iter().zip(b.iter()) {
+        let col = (ca + cb) as f64;
+        if col == 0.0 {
+            continue;
+        }
+        categories += 1;
+        let exp_a = col * total_a as f64 / grand;
+        let exp_b = col * total_b as f64 / grand;
+        statistic += (ca as f64 - exp_a).powi(2) / exp_a;
+        statistic += (cb as f64 - exp_b).powi(2) / exp_b;
+    }
+    let dof = categories.saturating_sub(1);
+    ChiSquareResult { statistic, dof, critical: chi_square_critical(dof) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform stream (SplitMix64 finalizer).
+    fn uniforms(seed: u64, count: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..count)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ks_accepts_same_distribution() {
+        let a = uniforms(1, 2000);
+        let b = uniforms(2, 2000);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.equivalent(), "D = {} > {}", r.statistic, r.critical);
+    }
+
+    #[test]
+    fn ks_rejects_shifted_distribution() {
+        let a = uniforms(1, 2000);
+        let b: Vec<f64> = uniforms(2, 2000).iter().map(|x| x + 0.2).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.equivalent(), "a 0.2 shift must be detected, D = {}", r.statistic);
+        assert!((r.statistic - 0.2).abs() < 0.05, "D should approach the shift");
+    }
+
+    #[test]
+    fn ks_handles_heavy_ties() {
+        // Discrete data with many ties (like slot counts).
+        let a: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| ((i + 3) % 7) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.equivalent(), "identical discrete laws, D = {}", r.statistic);
+    }
+
+    #[test]
+    fn ks_identical_samples_have_zero_distance() {
+        let a = uniforms(9, 100);
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.equivalent());
+    }
+
+    #[test]
+    fn chi_square_accepts_fair_splits() {
+        let a = [250u64, 248, 252, 251];
+        let b = [249u64, 253, 247, 250];
+        let r = chi_square_two_sample(&a, &b);
+        assert!(r.equivalent(), "χ² = {} > {}", r.statistic, r.critical);
+        assert_eq!(r.dof, 3);
+    }
+
+    #[test]
+    fn chi_square_rejects_biased_splits() {
+        let a = [400u64, 200, 200, 200];
+        let b = [200u64, 266, 267, 267];
+        let r = chi_square_two_sample(&a, &b);
+        assert!(!r.equivalent(), "a 2:1 bias must be detected, χ² = {}", r.statistic);
+    }
+
+    #[test]
+    fn chi_square_drops_empty_categories() {
+        let a = [500u64, 500, 0];
+        let b = [510u64, 490, 0];
+        let r = chi_square_two_sample(&a, &b);
+        assert_eq!(r.dof, 1, "the empty category contributes no dof");
+        assert!(r.equivalent());
+    }
+
+    #[test]
+    fn chi_square_single_category_is_trivially_equivalent() {
+        let r = chi_square_two_sample(&[100], &[90]);
+        assert_eq!(r.dof, 0);
+        assert!(r.equivalent());
+    }
+
+    #[test]
+    fn wilson_hilferty_matches_tables() {
+        // χ²(α=0.001) reference values: k=1 → 10.83, k=5 → 20.52,
+        // k=10 → 29.59, k=63 → 103.4.
+        for (dof, expected) in [(1usize, 10.83), (5, 20.52), (10, 29.59), (63, 103.4)] {
+            let got = chi_square_critical(dof);
+            assert!(
+                (got - expected).abs() / expected < 0.05,
+                "dof {dof}: got {got}, table {expected}"
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod equivalence;
 pub mod fairness;
 pub mod histogram;
 pub mod regression;
@@ -17,6 +18,9 @@ pub mod svgplot;
 pub mod table;
 
 pub use bootstrap::{bootstrap_ci, median_ci, ConfInterval};
+pub use equivalence::{
+    chi_square_critical, chi_square_two_sample, ks_two_sample, ChiSquareResult, KsResult,
+};
 pub use fairness::{jain_index, min_share};
 pub use histogram::Histogram;
 pub use regression::{linear_fit, log2_fit, LinearFit};

@@ -10,8 +10,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_cohort_in, run_exact, run_exact_in, CohortStations, EngineMetrics, PerStation,
-    SimArena, SimConfig, SimCore, TelemetryObserver, UniformProtocol,
+    run_cohort, run_cohort_in, run_exact, run_exact_in, run_fast_exact, run_fast_exact_in,
+    CohortStations, EngineMetrics, PerStation, SimArena, SimConfig, SimCore, TelemetryObserver,
+    UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState};
 use jle_telemetry::MetricRegistry;
@@ -128,6 +129,86 @@ fn bench_exact_short(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sleep-heavy, never-resolving workload for the fast backend: awake one
+/// slot in `period` (always transmitting — 1024 awake stations collide
+/// forever, so runs always walk the full slot budget), asleep otherwise,
+/// with an honest `wake_hint`. The legacy backend still steps all `n`
+/// stations every slot; the active-set backend touches only the awake
+/// `n/period`.
+#[derive(Debug)]
+struct DutySleeper {
+    period: u64,
+    phase: u64,
+}
+
+impl jle_engine::Protocol for DutySleeper {
+    fn act(&mut self, slot: u64, _: &mut dyn rand::RngCore) -> jle_engine::Action {
+        if slot % self.period == self.phase {
+            jle_engine::Action::Transmit
+        } else {
+            jle_engine::Action::Sleep
+        }
+    }
+    fn feedback(&mut self, _: u64, _: bool, _: jle_radio::Observation) {}
+    fn status(&self) -> jle_engine::Status {
+        jle_engine::Status::Running
+    }
+    fn wake_hint(&self, slot: u64) -> u64 {
+        let next = slot + 1;
+        next + (self.phase + self.period - next % self.period) % self.period
+    }
+}
+
+fn bench_fast_exact(c: &mut Criterion) {
+    // The tentpole measurement: legacy O(n)-per-slot backend vs the
+    // active-set backend on a duty-cycled (sleep-heavy) network. The
+    // acceptance bar is fast >= 5x legacy at n = 65536 with period 64;
+    // the recorded figures in results/BENCH.json track the trajectory.
+    let mut group = c.benchmark_group("fast_exact");
+    const SLOTS: u64 = 256;
+    const PERIOD: u64 = 64;
+    group.throughput(Throughput::Elements(SLOTS));
+    let factory = |i: u64| {
+        Box::new(DutySleeper { period: PERIOD, phase: i % PERIOD }) as Box<dyn jle_engine::Protocol>
+    };
+    {
+        let n = 1u64 << 16;
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_exact(&config, &adv, factory))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_fast_exact(&config, &adv, factory))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast_arena", n), &n, |b, &n| {
+            let adv = sat();
+            let mut arena = SimArena::new();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_fast_exact_in(&config, &adv, factory, &mut arena))
+            })
+        });
+    }
+    // Million-station arm: fast backend only — the legacy backend at this
+    // scale is the problem the backend exists to solve (~100x the work).
+    let n = 1u64 << 20;
+    group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, &n| {
+        let adv = sat();
+        b.iter(|| {
+            let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+            black_box(run_fast_exact(&config, &adv, factory))
+        })
+    });
+    group.finish();
+}
+
 fn bench_telemetry(c: &mut Criterion) {
     // A/B for the telemetry tax on the hot loop, same machine, same
     // binary. `disabled` is the default path every Monte-Carlo trial
@@ -167,6 +248,6 @@ fn bench_telemetry(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_cohort, bench_exact, bench_exact_short, bench_telemetry
+    targets = bench_cohort, bench_exact, bench_exact_short, bench_fast_exact, bench_telemetry
 }
 criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! Bench-regression gate: re-runs the `engine_throughput` workload shapes
+//! with a self-contained best-of-N harness and compares against the
+//! latest entry in `results/BENCH.json`, failing on a regression beyond
+//! the threshold (default 10%).
+//!
+//! ```text
+//! bench_gate                     # absolute mode: measured vs recorded ns
+//! bench_gate --normalize         # relative mode (CI): compare each arm's
+//!                                # measured/recorded ratio to the median
+//!                                # ratio, absorbing uniform machine-speed
+//!                                # differences between the recording box
+//!                                # and this one
+//! bench_gate --threshold 0.25    # loosen the gate
+//! bench_gate --samples 9         # more best-of samples (less noise)
+//! ```
+//!
+//! The harness measures a representative arm per `engine_throughput`
+//! group — the cheap slot loop (cohort), the O(n)-per-slot exact backend,
+//! the election-scale arena path, and the active-set fast backend — with
+//! workloads identical to the Criterion bench, so figures are comparable
+//! to the recorded medians. Arms absent from the recorded baseline (new
+//! groups mid-trajectory) are reported but never gate.
+//!
+//! Criterion itself is a dev-dependency and benches don't gate; this
+//! binary is what CI runs (`--normalize`, release profile).
+
+use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_engine::{
+    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, PerStation, Protocol, SimArena,
+    SimConfig, UniformProtocol,
+};
+use jle_radio::{CdModel, ChannelState, Observation};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Never-resolving workload: every station always transmits (identical to
+/// the Criterion bench's `AlwaysCollide`).
+#[derive(Debug, Clone)]
+struct AlwaysCollide;
+impl UniformProtocol for AlwaysCollide {
+    fn tx_prob(&mut self, _: u64) -> f64 {
+        1.0
+    }
+    fn on_state(&mut self, _: u64, _: ChannelState) {}
+    fn reset(&mut self) -> bool {
+        true
+    }
+}
+
+/// Sleep-heavy never-resolving workload (identical to the Criterion
+/// bench's `DutySleeper`): awake one slot in `period`, honest wake hint.
+#[derive(Debug)]
+struct DutySleeper {
+    period: u64,
+    phase: u64,
+}
+
+impl Protocol for DutySleeper {
+    fn act(&mut self, slot: u64, _: &mut dyn rand::RngCore) -> Action {
+        if slot % self.period == self.phase {
+            Action::Transmit
+        } else {
+            Action::Sleep
+        }
+    }
+    fn feedback(&mut self, _: u64, _: bool, _: Observation) {}
+    fn status(&self) -> jle_engine::Status {
+        jle_engine::Status::Running
+    }
+    fn wake_hint(&self, slot: u64) -> u64 {
+        let next = slot + 1;
+        next + (self.phase + self.period - next % self.period) % self.period
+    }
+}
+
+fn sat() -> AdversarySpec {
+    AdversarySpec::new(Rate::from_f64(0.5), 64, JamStrategyKind::Saturating)
+}
+
+/// One measured arm: the Criterion group/arm it mirrors, the per-sample
+/// iteration count, and the workload.
+struct Arm {
+    group: &'static str,
+    name: &'static str,
+    iters: u32,
+    run: Box<dyn FnMut()>,
+}
+
+fn arms() -> Vec<Arm> {
+    vec![
+        Arm {
+            group: "cohort_slots",
+            name: "fresh/65536",
+            iters: 25,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 16, CdModel::Strong).with_seed(7).with_max_slots(50_000);
+                black_box(run_cohort(&config, &adv, || AlwaysCollide));
+            }),
+        },
+        Arm {
+            group: "exact_slots",
+            name: "fresh/1024",
+            iters: 5,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(2_000);
+                black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))));
+            }),
+        },
+        Arm {
+            group: "exact_short_runs",
+            name: "arena/1024",
+            iters: 200,
+            run: {
+                let mut arena = SimArena::new();
+                Box::new(move || {
+                    let adv = sat();
+                    let config =
+                        SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(16);
+                    black_box(run_exact_in(
+                        &config,
+                        &adv,
+                        |_| Box::new(PerStation::new(AlwaysCollide)),
+                        &mut arena,
+                    ));
+                })
+            },
+        },
+        Arm {
+            group: "fast_exact",
+            name: "fast/65536",
+            iters: 25,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 16, CdModel::Strong).with_seed(7).with_max_slots(256);
+                black_box(run_fast_exact(&config, &adv, |i| {
+                    Box::new(DutySleeper { period: 64, phase: i % 64 })
+                }));
+            }),
+        },
+    ]
+}
+
+/// Best-of-`samples` ns/iter for one arm (one untimed warmup sample).
+fn measure(arm: &mut Arm, samples: u32) -> f64 {
+    let time_one = |run: &mut dyn FnMut(), iters: u32| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    time_one(&mut arm.run, arm.iters.div_ceil(4)); // warmup
+    (0..samples).map(|_| time_one(&mut arm.run, arm.iters)).fold(f64::INFINITY, f64::min)
+}
+
+/// The recorded `ns_per_iter` for `group`/`arm` in the newest history
+/// entry, if present.
+fn baseline_ns(latest: &serde_json::Value, group: &str, arm: &str) -> Option<f64> {
+    latest.get("groups")?.get(group)?.get("results")?.get(arm)?.get("ns_per_iter")?.as_f64()
+}
+
+struct Cli {
+    threshold: f64,
+    samples: u32,
+    normalize: bool,
+    baseline: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate [--threshold <frac>] [--samples <n>] [--normalize] \
+         [--baseline <path>]\n\n\
+         Fails (exit 1) when a measured engine_throughput arm regresses more\n\
+         than <frac> (default 0.10) against the newest results/BENCH.json\n\
+         entry. --normalize gates each arm against the median measured/recorded\n\
+         ratio instead of the raw ratio, absorbing uniform machine-speed\n\
+         differences (use in CI)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        threshold: 0.10,
+        samples: 5,
+        normalize: false,
+        baseline: "results/BENCH.json".into(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--threshold" => match value("--threshold").parse::<f64>() {
+                Ok(t) if t > 0.0 => cli.threshold = t,
+                _ => {
+                    eprintln!("error: --threshold expects a positive fraction");
+                    std::process::exit(2);
+                }
+            },
+            "--samples" => match value("--samples").parse::<u32>() {
+                Ok(n) if n >= 1 => cli.samples = n,
+                _ => {
+                    eprintln!("error: --samples expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--normalize" => cli.normalize = true,
+            "--baseline" => cli.baseline = value("--baseline"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+
+    let raw = std::fs::read_to_string(&cli.baseline).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {}: {e}", cli.baseline);
+        std::process::exit(2);
+    });
+    let doc: serde_json::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("error: {} is not valid JSON: {e}", cli.baseline);
+        std::process::exit(2);
+    });
+    let latest = doc
+        .get("history")
+        .and_then(|h| h.as_seq())
+        .and_then(|entries| entries.first())
+        .unwrap_or_else(|| {
+            eprintln!("error: {} has no history entries", cli.baseline);
+            std::process::exit(2);
+        })
+        .clone();
+    let date = latest.get("date").and_then(|d| d.as_str()).unwrap_or("?");
+    eprintln!(
+        "bench_gate: measuring {} arms (best of {}) against {} entry dated {date}",
+        arms().len(),
+        cli.samples,
+        cli.baseline,
+    );
+
+    // Measure everything first; gate after, so --normalize sees all ratios.
+    let mut rows: Vec<(String, f64, Option<f64>)> = Vec::new();
+    for mut arm in arms() {
+        let label = format!("{}/{}", arm.group, arm.name);
+        let ns = measure(&mut arm, cli.samples);
+        let base = baseline_ns(&latest, arm.group, arm.name);
+        rows.push((label, ns, base));
+    }
+
+    let mut ratios: Vec<f64> =
+        rows.iter().filter_map(|(_, ns, base)| base.map(|b| ns / b)).collect();
+    ratios.sort_by(f64::total_cmp);
+    let pivot = if cli.normalize && !ratios.is_empty() {
+        ratios[ratios.len() / 2] // median measured/recorded ratio
+    } else {
+        1.0
+    };
+    if cli.normalize {
+        eprintln!("bench_gate: normalizing by median machine-speed ratio {pivot:.3}");
+    }
+
+    let mut failed = false;
+    for (label, ns, base) in &rows {
+        match base {
+            None => println!("{label:<28} {ns:>12.0} ns/iter   (new arm, no baseline — skipped)"),
+            Some(b) => {
+                let rel = ns / b / pivot - 1.0;
+                let verdict = if rel > cli.threshold {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{label:<28} {ns:>12.0} ns/iter   baseline {b:>12.0}   {rel:>+7.1}%   {verdict}",
+                    rel = rel * 100.0
+                );
+            }
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_gate: FAIL — at least one arm regressed more than {:.0}% \
+             (threshold overridable with --threshold)",
+            cli.threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_gate: ok — no arm regressed more than {:.0}%", cli.threshold * 100.0);
+}

@@ -24,7 +24,7 @@
 //! `results/<id>.csv` (one CSV per table, suffixed when multiple).
 
 use jle_bench::experiments::{run_by_id, ALL_IDS};
-use jle_bench::{ExpContext, ExperimentResult};
+use jle_bench::{EngineMode, ExpContext, ExperimentResult};
 use jle_orchestrator::{CachePolicy, Event, JsonlReporter, Orchestrator, StderrProgress};
 use jle_telemetry::{FlightRecorder, MetricRegistry, SpanRecorder};
 use std::fs;
@@ -66,7 +66,11 @@ fn usage() -> ! {
          also writes Prometheus text exposition to <p>.prom\n  \
          --trace-out <p>    write a Chrome trace_event JSON profile at exit\n  \
          --flight-recorder <dir>  dump flight-recorder postmortems (anomalies,\n                     \
-         caught panics, supervisor restarts) into <dir>"
+         caught panics, supervisor restarts) into <dir>\n  \
+         --engine <mode>    exact backend for per-station experiments:\n                     \
+         exact (default) | fast-exact (active-set loop, counter-based\n                     \
+         per-station streams; statistically equivalent, different bits —\n                     \
+         cache keys are tagged so results never alias)"
     );
     std::process::exit(2);
 }
@@ -84,6 +88,7 @@ struct Cli {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     flight_dir: Option<String>,
+    engine: EngineMode,
     ids: Vec<String>,
 }
 
@@ -100,6 +105,7 @@ fn parse_args(args: &[String]) -> Cli {
         metrics_out: None,
         trace_out: None,
         flight_dir: None,
+        engine: EngineMode::default(),
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -131,6 +137,13 @@ fn parse_args(args: &[String]) -> Cli {
             "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
             "--trace-out" => cli.trace_out = Some(value("--trace-out")),
             "--flight-recorder" => cli.flight_dir = Some(value("--flight-recorder")),
+            "--engine" => {
+                let v = value("--engine");
+                cli.engine = EngineMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: --engine expects exact | fast-exact, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag {other}");
@@ -179,6 +192,10 @@ fn build_orchestrator(cli: &Cli, registry: &MetricRegistry, tracer: &SpanRecorde
             Err(e) => eprintln!("warning: cannot open run log {path}: {e}"),
         }
     }
+    // Tag cache keys with the backend: fast-exact results are
+    // statistically equivalent but bit-different, so they must never be
+    // served for (or overwrite) exact-mode entries.
+    orch = orch.engine_mode(cli.engine.label());
     orch.metrics_registry(registry).tracer(tracer.clone())
 }
 
@@ -236,7 +253,7 @@ fn main() {
         if cli.trace_out.is_some() { SpanRecorder::new() } else { SpanRecorder::disabled() };
     let orch = Arc::new(build_orchestrator(&cli, &registry, &tracer));
     orch.announce();
-    let mut ctx = ExpContext::new(cli.quick, Arc::clone(&orch));
+    let mut ctx = ExpContext::new(cli.quick, Arc::clone(&orch)).with_engine(cli.engine);
     if let Some(dir) = &cli.flight_dir {
         match FlightRecorder::new(dir) {
             Ok(rec) => ctx = ctx.with_flight_recorder(Arc::new(rec)),

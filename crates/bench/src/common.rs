@@ -2,7 +2,10 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_analysis::{Figure, Summary, Table};
-use jle_engine::{run_cohort, RunReport, SimConfig, SlotCost, UniformProtocol};
+use jle_engine::{
+    run_cohort, run_exact, run_fast_exact, Protocol, RunReport, SimConfig, SlotCost,
+    UniformProtocol,
+};
 use jle_orchestrator::{Orchestrator, WorkSpec};
 use jle_radio::CdModel;
 use jle_telemetry::FlightRecorder;
@@ -80,6 +83,43 @@ pub fn saturating(eps: f64, t_window: u64) -> AdversarySpec {
     AdversarySpec::new(Rate::from_f64(eps), t_window, JamStrategyKind::Saturating)
 }
 
+/// Which exact backend simulates `Protocol`-level (per-station)
+/// experiments. Selected by the experiments CLI via `--engine`.
+///
+/// The two backends sample the same election laws from unrelated random
+/// streams (statistically equivalent, bit-different), so the mode is also
+/// folded into orchestrator cache keys — see
+/// [`jle_orchestrator::Orchestrator::engine_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The legacy backend: every station stepped every slot
+    /// ([`jle_engine::run_exact`]).
+    #[default]
+    Exact,
+    /// The active-set backend with counter-based per-station streams
+    /// ([`jle_engine::run_fast_exact`]): O(awake) per slot.
+    FastExact,
+}
+
+impl EngineMode {
+    /// Parse the CLI spelling (`exact` | `fast-exact`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(EngineMode::Exact),
+            "fast-exact" => Some(EngineMode::FastExact),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling, also used as the cache-key tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Exact => "exact",
+            EngineMode::FastExact => "fast-exact",
+        }
+    }
+}
+
 /// Everything an experiment needs at run time: the `--quick` flag plus the
 /// orchestrator all Monte-Carlo work is submitted through. Experiments
 /// never call [`jle_engine::MonteCarlo`] directly anymore — routing
@@ -91,12 +131,13 @@ pub struct ExpContext {
     pub quick: bool,
     orch: Arc<Orchestrator>,
     flight: Option<Arc<FlightRecorder>>,
+    engine: EngineMode,
 }
 
 impl ExpContext {
     /// A context submitting work through `orch`.
     pub fn new(quick: bool, orch: Arc<Orchestrator>) -> Self {
-        ExpContext { quick, orch, flight: None }
+        ExpContext { quick, orch, flight: None, engine: EngineMode::default() }
     }
 
     /// A context with no cache and no reporters — unit tests and doc
@@ -117,6 +158,34 @@ impl ExpContext {
     /// The flight recorder, if one is attached.
     pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
         self.flight.as_ref()
+    }
+
+    /// Builder: select the exact backend per-station experiments run on.
+    ///
+    /// The caller is responsible for tagging the orchestrator's cache
+    /// keys to match ([`jle_orchestrator::Orchestrator::engine_mode`]) —
+    /// the experiments CLI does both from the one `--engine` flag.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected exact backend.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Run one per-station election on the selected exact backend.
+    pub fn exact_election(
+        &self,
+        config: &SimConfig,
+        adv: &AdversarySpec,
+        factory: impl FnMut(u64) -> Box<dyn Protocol>,
+    ) -> RunReport {
+        match self.engine {
+            EngineMode::Exact => run_exact(config, adv, factory),
+            EngineMode::FastExact => run_fast_exact(config, adv, factory),
+        }
     }
 
     /// The underlying orchestrator (for telemetry and stats).

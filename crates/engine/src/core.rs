@@ -53,6 +53,87 @@ pub(crate) fn trace_capacity(config: &SimConfig) -> usize {
     config.max_slots.min(1 << 20) as usize
 }
 
+/// Word-packed per-station slot flags: the `transmitted`/`asleep` pair
+/// every per-station backend needs for its feedback phase, two bits per
+/// station in one `u64` word array.
+///
+/// Replaces the historical pair of `Vec<bool>` buffers: clearing is one
+/// `memset` over `⌈n/32⌉` words per slot ([`SlotFlags::begin_slot`])
+/// instead of two O(n) byte fills, and both flags for a station land on
+/// the same cache line. Shared by [`crate::ExactStations`] (and therefore
+/// [`crate::FaultyStations`], which delegates to it) and reusable across
+/// runs through [`SimArena`].
+#[derive(Debug, Clone, Default)]
+pub struct SlotFlags {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SlotFlags {
+    /// Flags for `n` stations, all clear.
+    pub fn new(n: usize) -> Self {
+        SlotFlags { words: vec![0; n.div_ceil(32)], len: n }
+    }
+
+    /// Resize for `n` stations and clear everything (arena reuse).
+    pub fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(32), 0);
+        self.len = n;
+    }
+
+    /// Number of stations tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the flag set tracks zero stations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clear both flags of every station — the per-slot reset, one memset.
+    #[inline]
+    pub fn begin_slot(&mut self) {
+        self.words.fill(0);
+    }
+
+    #[inline]
+    fn word_bit(i: usize) -> (usize, u32) {
+        (i / 32, (i % 32) as u32 * 2)
+    }
+
+    /// Mark station `i` as having transmitted this slot.
+    #[inline]
+    pub fn set_transmitted(&mut self, i: usize) {
+        let (w, b) = Self::word_bit(i);
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Mark station `i` as asleep (or terminated) this slot.
+    #[inline]
+    pub fn set_asleep(&mut self, i: usize) {
+        let (w, b) = Self::word_bit(i);
+        self.words[w] |= 2u64 << b;
+    }
+
+    /// Whether station `i` transmitted this slot.
+    #[inline]
+    pub fn transmitted(&self, i: usize) -> bool {
+        let (w, b) = Self::word_bit(i);
+        self.words[w] >> b & 1 != 0
+    }
+
+    /// Whether station `i` slept this slot.
+    #[inline]
+    pub fn asleep(&self, i: usize) -> bool {
+        let (w, b) = Self::word_bit(i);
+        self.words[w] >> b & 2 != 0
+    }
+}
+
 /// What a station set did in one slot, aggregated.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlotActions {
@@ -139,10 +220,10 @@ pub trait StationSet {
 #[derive(Default)]
 pub struct SimArena {
     pub(crate) stations: Vec<Box<dyn Protocol>>,
-    pub(crate) transmitted: Vec<bool>,
-    pub(crate) asleep: Vec<bool>,
+    pub(crate) flags: SlotFlags,
     pub(crate) history: Option<ChannelHistory>,
     pub(crate) trace: Option<Trace>,
+    pub(crate) fast: crate::fast::FastScratch,
 }
 
 impl SimArena {
@@ -165,7 +246,7 @@ impl std::fmt::Debug for SimArena {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimArena")
             .field("stations", &self.stations.len())
-            .field("capacity", &self.transmitted.capacity())
+            .field("capacity", &self.flags.len())
             .field("history", &self.history.is_some())
             .field("trace", &self.trace.is_some())
             .finish()

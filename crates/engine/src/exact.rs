@@ -12,7 +12,7 @@
 //! and [`run_exact`] / [`run_exact_in`] are thin shims.
 
 use crate::config::{SimConfig, StopRule};
-use crate::core::{SimArena, SimCore, SlotActions, StationSet};
+use crate::core::{SimArena, SimCore, SlotActions, SlotFlags, StationSet};
 use crate::protocol::{Action, Protocol, Status};
 use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
@@ -20,12 +20,12 @@ use jle_radio::{cd, SlotTruth};
 use rand::rngs::SmallRng;
 
 /// The per-station [`StationSet`] backend: a vector of independent
-/// [`Protocol`] state machines plus the per-slot `transmitted`/`asleep`
-/// bookkeeping the feedback phase needs.
+/// [`Protocol`] state machines plus the word-packed per-slot
+/// `transmitted`/`asleep` bookkeeping ([`SlotFlags`]) the feedback phase
+/// needs.
 pub struct ExactStations {
     stations: Vec<Box<dyn Protocol>>,
-    transmitted: Vec<bool>,
-    asleep: Vec<bool>,
+    flags: SlotFlags,
 }
 
 impl ExactStations {
@@ -33,7 +33,7 @@ impl ExactStations {
     pub fn new(config: &SimConfig, factory: impl FnMut(u64) -> Box<dyn Protocol>) -> Self {
         let stations: Vec<Box<dyn Protocol>> = (0..config.n).map(factory).collect();
         let n = stations.len();
-        ExactStations { stations, transmitted: vec![false; n], asleep: vec![false; n] }
+        ExactStations { stations, flags: SlotFlags::new(n) }
     }
 
     /// Like [`ExactStations::new`], but reusing the station vector and
@@ -58,13 +58,9 @@ impl ExactStations {
             stations.extend((0..config.n).map(factory));
         }
         let n = stations.len();
-        let mut transmitted = std::mem::take(&mut arena.transmitted);
-        transmitted.clear();
-        transmitted.resize(n, false);
-        let mut asleep = std::mem::take(&mut arena.asleep);
-        asleep.clear();
-        asleep.resize(n, false);
-        ExactStations { stations, transmitted, asleep }
+        let mut flags = std::mem::take(&mut arena.flags);
+        flags.reset(n);
+        ExactStations { stations, flags }
     }
 
     /// Return the backing buffers to `arena` for the next run. Station
@@ -73,8 +69,7 @@ impl ExactStations {
     /// dropped there when the set is rebuilt.
     pub fn recycle(self, arena: &mut SimArena) {
         arena.stations = self.stations;
-        arena.transmitted = self.transmitted;
-        arena.asleep = self.asleep;
+        arena.flags = self.flags;
     }
 
     /// The stations, for post-run inspection.
@@ -103,22 +98,21 @@ impl StationSet for ExactStations {
 
     fn act(&mut self, slot: u64, _config: &SimConfig, rng: &mut SmallRng) -> SlotActions {
         let mut actions = SlotActions::default();
+        self.flags.begin_slot(); // one memset instead of 2n bool stores
         for (i, st) in self.stations.iter_mut().enumerate() {
-            self.transmitted[i] = false;
-            self.asleep[i] = false;
             if st.status().terminal() {
-                self.asleep[i] = true; // terminated stations observe nothing
+                self.flags.set_asleep(i); // terminated stations observe nothing
                 continue;
             }
             match st.act(slot, rng) {
                 Action::Transmit => {
-                    self.transmitted[i] = true;
+                    self.flags.set_transmitted(i);
                     actions.transmitters += 1;
                     actions.lone_transmitter =
                         if actions.transmitters == 1 { Some(i as u64) } else { None };
                 }
                 Action::Listen => actions.listeners += 1,
-                Action::Sleep => self.asleep[i] = true,
+                Action::Sleep => self.flags.set_asleep(i),
             }
         }
         actions
@@ -137,11 +131,12 @@ impl StationSet for ExactStations {
     fn feedback(&mut self, slot: u64, truth: &SlotTruth, config: &SimConfig) {
         // Sleeping and terminated stations observe nothing.
         for (i, st) in self.stations.iter_mut().enumerate() {
-            if self.asleep[i] && !self.transmitted[i] {
+            let transmitted = self.flags.transmitted(i);
+            if self.flags.asleep(i) && !transmitted {
                 continue;
             }
-            let obs = cd::observe(config.cd, self.transmitted[i], truth);
-            st.feedback(slot, self.transmitted[i], obs);
+            let obs = cd::observe(config.cd, transmitted, truth);
+            st.feedback(slot, transmitted, obs);
         }
     }
 

@@ -380,6 +380,7 @@ pub struct FaultyStation {
     faults: StationFaults,
     rng: SmallRng,
     crashed: bool,
+    rebooted: bool,
 }
 
 impl FaultyStation {
@@ -398,6 +399,7 @@ impl FaultyStation {
             faults,
             rng: SmallRng::seed_from_u64(fault_seed),
             crashed: false,
+            rebooted: false,
         }
     }
 
@@ -424,10 +426,15 @@ impl Protocol for FaultyStation {
             }
             return Action::Sleep;
         }
-        if self.crashed {
-            // Recovery: reboot with fresh protocol state.
+        if self.crashed || (self.faults.crash_at.is_some_and(|c| slot >= c) && !self.rebooted) {
+            // Recovery: reboot with fresh protocol state. The second
+            // disjunct covers the active-set backend, which (guided by
+            // `wake_hint`) never calls `act` during the crash window and
+            // so never sets `crashed`; `rebooted` keeps the respawn a
+            // once-only event on both paths.
             self.inner = (self.respawn)();
             self.crashed = false;
+            self.rebooted = true;
         }
         self.inner.act(slot, rng)
     }
@@ -465,6 +472,24 @@ impl Protocol for FaultyStation {
 
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn wake_hint(&self, slot: u64) -> u64 {
+        if self.faults.down_at(slot) {
+            if slot < self.faults.wake_at {
+                return self.faults.wake_at;
+            }
+            // In the crash window: sleep until recovery (or forever).
+            return self.faults.recover_at.unwrap_or(u64::MAX);
+        }
+        let hint = self.inner.wake_hint(slot);
+        match self.faults.crash_at {
+            // An upcoming crash must be revisited at its boundary even if
+            // the inner protocol withdrew for longer: a recovery respawns
+            // *fresh* state, which may want to act again.
+            Some(c) if c > slot => hint.min(c),
+            _ => hint,
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! observations filtered by the collision-detection model, and jammed
 //! slots are indistinguishable from collisions.
 //!
-//! ## Architecture: one loop, three backends
+//! ## Architecture: one loop, four backends
 //!
 //! The slot loop is written exactly once, in [`SimCore`] (see
 //! `DESIGN.md` §10). What varies between simulators is *who the stations
@@ -15,6 +15,14 @@
 //!
 //! * [`ExactStations`] / [`run_exact`] — per-station, O(n) per slot;
 //!   required for role-split protocols (`Notification`).
+//! * [`FastExactStations`] / [`run_fast_exact`] — the same per-station
+//!   semantics on an active-set slot loop: sleeping and withdrawn
+//!   stations leave the loop until their [`Protocol::wake_hint`] slot,
+//!   and every draw comes from a counter-based per-station stream
+//!   ([`StationRng`]) so the action phase is order-independent and can be
+//!   sharded across threads. O(awake) per slot — million-station exact
+//!   sweeps. Statistically equivalent to [`ExactStations`], not
+//!   bit-identical (see `DESIGN.md` §12).
 //! * [`CohortStations`] / [`run_cohort`] — for the paper's *uniform*
 //!   protocol class; tracks one shared state and samples transmitter
 //!   counts binomially, O(1) per slot (n-independent), enabling sweeps to
@@ -40,23 +48,29 @@ pub mod cohort;
 pub mod config;
 pub mod core;
 pub mod exact;
+pub mod fast;
 pub mod faults;
 pub mod observer;
 pub mod protocol;
 pub mod report;
 pub mod runner;
+pub mod streams;
 pub mod telemetry;
 
-pub use crate::core::{SimArena, SimCore, SlotActions, StationSet, ADV_SEED_XOR};
+pub use crate::core::{SimArena, SimCore, SlotActions, SlotFlags, StationSet, ADV_SEED_XOR};
 pub use cohort::{
     run_cohort, run_cohort_against_oracle, run_cohort_in, run_cohort_with, sample_transmitters,
     CohortStations,
 };
 pub use config::{SimConfig, StopRule};
 pub use exact::{run_exact, run_exact_in, ExactStations};
+pub use fast::{
+    run_fast_exact, run_fast_exact_faulty, run_fast_exact_in, FastExactStations, FastFaultyStations,
+};
 pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, FaultyStations, StationFaults};
 pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserver};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
 pub use report::{EnergyStats, Outcome, RunReport, SlotCost};
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};
+pub use streams::{mix64, station_key, StationRng};
 pub use telemetry::{EngineMetrics, TelemetryObserver};

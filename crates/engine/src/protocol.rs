@@ -88,6 +88,24 @@ pub trait Protocol: Send {
         None
     }
 
+    /// Wake hint for the active-set backend: the next slot this station
+    /// wants [`Protocol::act`] called, given that it just returned
+    /// [`Action::Sleep`] for `slot`. Only consulted by
+    /// [`crate::FastExactStations`]; the legacy exact backend calls `act`
+    /// every slot regardless.
+    ///
+    /// The default (`slot + 1`, wake every slot) is always correct.
+    /// Implementations returning a later slot `w` promise that for every
+    /// slot `t` in `(slot, w)` the station would have returned
+    /// [`Action::Sleep`] *without consuming randomness and without
+    /// changing state* — i.e. skipping those `act` calls is unobservable.
+    /// Return [`u64::MAX`] for "never again" (a permanently withdrawn
+    /// station). Violating the promise skews simulation results (the
+    /// station misses slots it would have played) but is memory-safe.
+    fn wake_hint(&self, slot: u64) -> u64 {
+        slot + 1
+    }
+
     /// Restore this station *in place* to the initial state it was
     /// constructed with, returning `true` on success. [`crate::SimArena`]
     /// uses this to recycle station boxes across runs instead of

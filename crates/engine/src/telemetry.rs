@@ -39,6 +39,11 @@ pub struct EngineMetrics {
     /// `jle_engine_adv_budget_spent` — fraction of the adversary's
     /// jamming allowance spent in the most recent run.
     pub adv_budget_spent: Gauge,
+    /// `jle_engine_awake_stations` — stations that were up (transmitting
+    /// or listening) in the last observed slot. On duty-cycled workloads
+    /// this is the live size of the fast backend's awake set, the
+    /// quantity its O(awake) slot cost scales with.
+    pub awake_stations: Gauge,
     /// `jle_engine_anomalies_total` — anomalies detected across runs.
     pub anomalies_total: Counter,
 }
@@ -61,6 +66,10 @@ impl EngineMetrics {
             adv_budget_spent: registry.gauge(
                 "jle_engine_adv_budget_spent",
                 "fraction of the adversary's jamming allowance spent (last observed run)",
+            ),
+            awake_stations: registry.gauge(
+                "jle_engine_awake_stations",
+                "stations up (tx + listen) in the last observed slot",
             ),
             anomalies_total: registry
                 .counter("jle_engine_anomalies_total", "anomalies detected across observed runs"),
@@ -105,6 +114,7 @@ pub struct TelemetryObserver {
     metrics: Option<EngineMetrics>,
     recorder: Option<Arc<FlightRecorder>>,
     artifacts: Vec<PathBuf>,
+    last_awake: u64,
 }
 
 impl TelemetryObserver {
@@ -120,6 +130,7 @@ impl TelemetryObserver {
             metrics: None,
             recorder: None,
             artifacts: Vec::new(),
+            last_awake: 0,
         }
     }
 
@@ -215,6 +226,7 @@ impl std::fmt::Debug for TelemetryObserver {
 
 impl SlotObserver for TelemetryObserver {
     fn on_slot(&mut self, slot: u64, truth: &SlotTruth, actions: &SlotActions, _: Option<f64>) {
+        self.last_awake = actions.transmitters + actions.listeners;
         self.ring.push(SlotEvent {
             slot,
             transmitters: actions.transmitters,
@@ -234,6 +246,7 @@ impl SlotObserver for TelemetryObserver {
                 m.energy_per_station.observe(per_station);
             }
             m.adv_budget_spent.set(report.adv_budget_spent);
+            m.awake_stations.set(self.last_awake as f64);
         }
         if let Some((kind, detail)) = Self::classify(report) {
             if let Some(m) = &self.metrics {
@@ -392,6 +405,18 @@ mod tests {
         assert!(record.detail.contains("index out of bounds"));
         assert!(record.events.is_empty(), "panic unwinding destroys the ring");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn awake_gauge_tracks_the_last_slot() {
+        let reg = MetricRegistry::new();
+        let metrics = EngineMetrics::register(&reg);
+        let config = SimConfig::new(4, CdModel::Strong).with_seed(2).with_max_slots(10);
+        let mut obs = TelemetryObserver::new(&config).with_metrics(metrics.clone());
+        let mut stations = CohortStations::new(Silent);
+        let _ =
+            SimCore::new(&config, &AdversarySpec::passive()).observe(&mut obs).run(&mut stations);
+        assert_eq!(metrics.awake_stations.get(), 4.0, "all four silent stations listen");
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_cohort_against_oracle, run_exact, run_exact_faulty, FaultPlan, PerStation,
-    RunReport, SimConfig, StationFaults, StopRule, UniformProtocol,
+    run_cohort, run_cohort_against_oracle, run_exact, run_exact_faulty, run_fast_exact,
+    run_fast_exact_faulty, Action, FaultPlan, PerStation, Protocol, RunReport, SimConfig,
+    StationFaults, Status, StopRule, UniformProtocol,
 };
-use jle_radio::{CdModel, ChannelState};
+use jle_radio::{CdModel, ChannelState, Observation};
+use rand::RngCore;
 use std::path::PathBuf;
 
 const MAX_SLOTS: u64 = 4_000;
@@ -298,6 +300,126 @@ fn golden_faulty_nocd() {
             Box::new(PerStation::new(Backoff::new()))
         });
     check("faulty_nocd", &r);
+}
+
+// ----------------------------------------------------------- fast exact --
+//
+// The fast backend draws from counter-based per-station streams, so its
+// fixtures are *distinct* from (and unrelated to) the legacy `exact_*`
+// ones — these pin the fast backend's own draw-order contract
+// (DESIGN.md §12): station draws keyed by `(seed, station, slot, draw)`,
+// order-independent action phase, heap-driven wake scheduling.
+//
+// Regenerate only the fast fixtures (never the legacy ones in the same
+// sweep): `UPDATE_GOLDEN=1 cargo test -p jle-engine --test golden_seed fast_`.
+
+/// Duty-cycles a station: awake only in slots `≡ phase (mod period)`.
+/// Exercises the active-set loop's park/wake heap in a fixture — with
+/// period 4 over 12 stations the awake prefix shrinks to ~3 each slot.
+struct DutyBackoff {
+    inner: PerStation<Backoff>,
+    period: u64,
+    phase: u64,
+}
+
+impl DutyBackoff {
+    fn new(period: u64, phase: u64) -> Self {
+        DutyBackoff { inner: PerStation::new(Backoff::new()), period, phase: phase % period }
+    }
+}
+
+impl Protocol for DutyBackoff {
+    fn act(&mut self, slot: u64, rng: &mut dyn RngCore) -> Action {
+        if slot % self.period == self.phase {
+            self.inner.act(slot, rng)
+        } else {
+            Action::Sleep
+        }
+    }
+    fn feedback(&mut self, slot: u64, transmitted: bool, obs: Observation) {
+        self.inner.feedback(slot, transmitted, obs);
+    }
+    fn status(&self) -> Status {
+        self.inner.status()
+    }
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+    fn estimate(&self) -> Option<f64> {
+        self.inner.estimate()
+    }
+    fn wake_hint(&self, slot: u64) -> u64 {
+        let next = slot + 1;
+        next + (self.phase + self.period - next % self.period) % self.period
+    }
+}
+
+#[test]
+fn fast_exact_strong() {
+    let r = run_fast_exact(&exact_config(CdModel::Strong), &saturating(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("fast_exact_strong", &r);
+}
+
+#[test]
+fn fast_exact_strong_noise() {
+    let config = exact_config(CdModel::Strong).with_noise(0.01);
+    let r = run_fast_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
+    check("fast_exact_strong_noise", &r);
+}
+
+#[test]
+fn fast_exact_weak_random_jammer() {
+    let r = run_fast_exact(&exact_config(CdModel::Weak), &random_jammer(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("fast_exact_weak_random_jammer", &r);
+}
+
+#[test]
+fn fast_exact_nocd() {
+    let r = run_fast_exact(&exact_config(CdModel::NoCd), &saturating(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("fast_exact_nocd", &r);
+}
+
+#[test]
+fn fast_exact_all_terminated() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::AllTerminated);
+    let r = run_fast_exact(&config, &saturating(), |_| Box::new(PerStation::new(Backoff::new())));
+    check("fast_exact_all_terminated", &r);
+}
+
+#[test]
+fn fast_exact_duty_cycled() {
+    // Sleep-heavy workload: pins the wake-heap schedule (park order,
+    // wake order, prefix compaction) in addition to the draw streams.
+    let r = run_fast_exact(&exact_config(CdModel::Strong), &saturating(), |i| {
+        Box::new(DutyBackoff::new(4, i))
+    });
+    check("fast_exact_duty_cycled", &r);
+}
+
+#[test]
+fn fast_faulty_strong() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::AllTerminated);
+    let r = run_fast_exact_faulty(&config, &saturating(), &stress_plan(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("fast_faulty_strong", &r);
+}
+
+#[test]
+fn fast_faulty_nocd() {
+    let r = run_fast_exact_faulty(
+        &exact_config(CdModel::NoCd),
+        &random_jammer(),
+        &stress_plan(),
+        |_| Box::new(PerStation::new(Backoff::new())),
+    );
+    check("fast_faulty_nocd", &r);
 }
 
 // --------------------------------------------------------------- oracle --

@@ -141,6 +141,21 @@ impl Orchestrator {
         self
     }
 
+    /// Tag every cache key with the engine backend the trials run on.
+    ///
+    /// The default backend (`"exact"`) leaves the salt untouched, so
+    /// existing stores stay valid; any other mode appends
+    /// `+engine=<mode>`. The two exact backends draw from unrelated
+    /// random streams — same spec, different bits — so their results
+    /// must never alias in the store.
+    pub fn engine_mode(mut self, mode: impl AsRef<str>) -> Self {
+        let mode = mode.as_ref();
+        if mode != "exact" {
+            self.salt = format!("{}+engine={mode}", self.salt);
+        }
+        self
+    }
+
     /// Attach a telemetry reporter.
     pub fn reporter(mut self, r: impl Reporter + 'static) -> Self {
         self.reporters.push(Box::new(r));
@@ -514,6 +529,33 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("jle_orchestrator_executed_trials 20"), "{text}");
         assert!(text.contains("jle_orchestrator_units 1"), "{text}");
+    }
+
+    #[test]
+    fn engine_mode_partitions_the_store() {
+        let dir = tmp_dir("engine-mode");
+        // Default mode: salt unchanged, so keys match a plain orchestrator.
+        let plain = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let tagged_default =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("exact");
+        assert_eq!(
+            plain.fingerprint_hex::<u64>(&spec()),
+            tagged_default.fingerprint_hex::<u64>(&spec()),
+            "the default engine must not invalidate existing caches"
+        );
+        // Fast-exact mode: different keys, no aliasing with exact results.
+        let fast =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("fast-exact");
+        assert_ne!(plain.fingerprint_hex::<u64>(&spec()), fast.fingerprint_hex::<u64>(&spec()));
+        let a: Vec<u64> = plain.run_trials(&spec(), 20, trial);
+        let b: Vec<u64> = fast.run_trials(&spec(), 20, |s| trial(s) ^ 1);
+        assert_ne!(a, b);
+        let warm_fast =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("fast-exact");
+        let b2: Vec<u64> = warm_fast.run_trials(&spec(), 20, |s| trial(s) ^ 1);
+        assert_eq!(warm_fast.stats_snapshot().executed_trials, 0);
+        assert_eq!(b, b2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,17 +7,39 @@
 //! `TxAssumedCollision`, exactly Function 3's "if transmitted then return
 //! Collision".
 
+/// Memoized integer ladder: `POW2_NEG[k] = 2^{-k}` exactly, by bit
+/// pattern (`(1023 − k) << 52` is the IEEE-754 double with exponent
+/// `−k` and an all-zero mantissa). Willard/backoff-style protocols step
+/// `u` through whole levels every slot, so the common case becomes a
+/// table load instead of an `exp2` call.
+const POW2_NEG_LEVELS: usize = 64;
+const POW2_NEG: [f64; POW2_NEG_LEVELS] = {
+    let mut table = [0.0; POW2_NEG_LEVELS];
+    let mut k = 0;
+    while k < POW2_NEG_LEVELS {
+        table[k] = f64::from_bits((1023 - k as u64) << 52);
+        k += 1;
+    }
+    table
+};
+
 /// Transmission probability for estimate `u`: `2^{-u}`, clamped to `[0,1]`.
 ///
 /// `u` may be any non-negative real (LESK moves it in steps of `ε/8`);
 /// values so large that `2^{-u}` underflows simply yield probability 0.
+/// Whole-number estimates below 64 hit a constant table whose entries
+/// are bit-identical to `(-u).exp2()`, so memoization is invisible to
+/// golden fixtures.
 #[inline]
 pub fn tx_probability(u: f64) -> f64 {
     if u <= 0.0 {
-        1.0
-    } else {
-        (-u).exp2()
+        return 1.0;
     }
+    let k = u as usize;
+    if k < POW2_NEG_LEVELS && u == k as f64 {
+        return POW2_NEG[k];
+    }
+    (-u).exp2()
 }
 
 #[cfg(test)]
@@ -43,5 +65,23 @@ mod tests {
         assert_eq!(tx_probability(-1.0), 1.0);
         assert_eq!(tx_probability(5000.0), 0.0, "underflow clamps to zero");
         assert!(tx_probability(1074.0) >= 0.0);
+    }
+
+    #[test]
+    fn table_is_bitwise_identical_to_exp2() {
+        for k in 0..64u32 {
+            let u = k as f64;
+            assert_eq!(
+                tx_probability(u).to_bits(),
+                (-u).exp2().to_bits(),
+                "level {k} must be exact — memoization may not shift any golden fixture"
+            );
+        }
+        // Just past the table: still exp2, still continuous.
+        assert_eq!(tx_probability(64.0).to_bits(), (-64.0f64).exp2().to_bits());
+        // Fractional estimates never hit the table.
+        for u in [0.125, 1.5, 33.25, 63.875] {
+            assert_eq!(tx_probability(u).to_bits(), (-u).exp2().to_bits());
+        }
     }
 }

@@ -77,6 +77,16 @@ impl Protocol for DutyCycledLesk {
         self.inner.estimate()
     }
 
+    fn wake_hint(&self, slot: u64) -> u64 {
+        // Next on-phase slot strictly after `slot`. Off-phase acts draw
+        // no randomness and touch no state, so the active-set backend can
+        // skip straight to it — this is what turns a period-`p` network
+        // into an O(n/p)-per-slot simulation.
+        let next = slot + 1;
+        let rem = next % self.period;
+        next + (self.phase + self.period - rem) % self.period
+    }
+
     fn reset(&mut self) -> bool {
         // period/phase are construction-time constants; only the wrapped
         // LESK walk carries run state.
@@ -101,6 +111,49 @@ mod tests {
         assert_eq!(st.act(2, &mut rng), Action::Sleep);
         assert_eq!(st.act(3, &mut rng), Action::Sleep);
         assert_ne!(st.act(5, &mut rng), Action::Sleep);
+    }
+
+    #[test]
+    fn wake_hint_names_the_next_on_phase_slot() {
+        let st = DutyCycledLesk::new(0.5, 4, 1);
+        assert_eq!(st.wake_hint(0), 1);
+        assert_eq!(st.wake_hint(1), 5);
+        assert_eq!(st.wake_hint(2), 5);
+        assert_eq!(st.wake_hint(4), 5);
+        assert_eq!(st.wake_hint(5), 9);
+        let plain = DutyCycledLesk::new(0.5, 1, 0);
+        for slot in 0..8 {
+            assert_eq!(plain.wake_hint(slot), slot + 1, "period 1 wakes every slot");
+        }
+        // Contract check: every slot in (slot, hint) really is Sleep.
+        let mut probe = DutyCycledLesk::new(0.5, 16, 11);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for slot in 0..64u64 {
+            let hint = probe.wake_hint(slot);
+            for t in slot + 1..hint {
+                assert_eq!(probe.act(t, &mut rng), Action::Sleep, "slot {slot} hint {hint} t {t}");
+            }
+            assert_ne!(probe.act(hint, &mut rng), Action::Sleep, "hint slot must be on-phase");
+        }
+    }
+
+    #[test]
+    fn fast_backend_matches_legacy_engine_on_duty_cycle() {
+        // Same protocol through both exact backends: not bit-identical
+        // (different streams), but both must elect, and the fast backend
+        // must see the duty-cycled listen savings too.
+        use jle_engine::run_fast_exact;
+        let config = SimConfig::new(64, CdModel::Strong).with_seed(14).with_max_slots(1_000_000);
+        let legacy = run_exact(&config, &AdversarySpec::passive(), |i| {
+            Box::new(DutyCycledLesk::new(0.5, 4, i))
+        });
+        let fast = run_fast_exact(&config, &AdversarySpec::passive(), |i| {
+            Box::new(DutyCycledLesk::new(0.5, 4, i))
+        });
+        assert!(legacy.leader_elected() && fast.leader_elected());
+        let rate = |r: &jle_engine::RunReport| r.energy.listens as f64 / r.slots as f64;
+        assert!(rate(&fast) < 64.0 / 2.0, "fast backend keeps the duty-cycle savings");
+        assert!((rate(&fast) - rate(&legacy)).abs() < 8.0, "similar listen rates across backends");
     }
 
     #[test]

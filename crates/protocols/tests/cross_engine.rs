@@ -14,13 +14,24 @@
 //! the deterministic saturating adversary places identically in both runs
 //! because the channel history is identical) — and the real
 //! `EstimationProtocol` state machine decides the stop slot on its own.
+//!
+//! The second half of this suite validates the **fast exact backend**
+//! (`run_fast_exact`) against the legacy one: same-stop-slot agreement on
+//! deterministic protocols, and KS/chi-square statistical equivalence on
+//! election-slot, winner-identity, and energy distributions across
+//! protocols × CD models × jamming strategies. All seeds are fixed, so
+//! the statistical verdicts are deterministic (no flaky re-rolls); the
+//! tests run at `α = 0.001` per comparison.
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+use jle_analysis::{chi_square_two_sample, ks_two_sample};
 use jle_engine::{
-    run_cohort, run_exact, CohortStations, EngineMetrics, ExactStations, PerStation, RunReport,
-    SimConfig, SimCore, TelemetryObserver, UniformProtocol,
+    run_cohort, run_exact, run_exact_faulty, run_fast_exact, run_fast_exact_faulty, CohortStations,
+    EngineMetrics, ExactStations, FaultPlan, PerStation, Protocol, RunReport, SimConfig, SimCore,
+    TelemetryObserver, UniformProtocol,
 };
 use jle_protocols::estimation::EstimationProtocol;
+use jle_protocols::{LeskProtocol, LesuProtocol};
 use jle_radio::{CdModel, ChannelState};
 use jle_telemetry::{FlightRecorder, MetricRegistry};
 use std::sync::Arc;
@@ -136,4 +147,236 @@ fn telemetry_attachment_is_invisible_to_both_engines() {
         assert_eq!(tel_exact.slots, tel_cohort.slots, "engines still agree under telemetry");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fast exact backend: agreement and statistical equivalence with the
+// legacy backend.
+// ---------------------------------------------------------------------------
+
+/// Silent protocols are fully deterministic, so the fast backend must
+/// agree with the legacy one *exactly* — stop slot, counts, everything —
+/// despite drawing from unrelated random streams (it never draws).
+#[test]
+fn fast_exact_stops_with_legacy_on_silent_protocols() {
+    let scenarios: [(u64, AdversarySpec); 2] = [
+        (77, AdversarySpec::passive()),
+        (78, AdversarySpec::new(Rate::from_f64(0.5), 8, JamStrategyKind::Saturating)),
+    ];
+    for (seed, adv) in &scenarios {
+        let config = SimConfig::new(8, CdModel::Strong).with_seed(*seed).with_max_slots(10_000);
+        let legacy =
+            run_exact(&config, adv, |_| Box::new(PerStation::new(SilencedEstimation::new(5))));
+        let fast =
+            run_fast_exact(&config, adv, |_| Box::new(PerStation::new(SilencedEstimation::new(5))));
+        assert_eq!(fast.slots, legacy.slots, "same stop slot (seed {seed})");
+        assert_eq!(fast.counts, legacy.counts, "same channel sequence (seed {seed})");
+        assert_eq!(fast.energy, legacy.energy, "same energy (seed {seed})");
+        assert!(!fast.timed_out);
+    }
+}
+
+/// Which election protocol a statistical scenario runs.
+#[derive(Debug, Clone, Copy)]
+enum Proto {
+    Lesk,
+    Lesu,
+}
+
+impl Proto {
+    fn build(self) -> Box<dyn Protocol> {
+        match self {
+            Proto::Lesk => Box::new(PerStation::new(LeskProtocol::new(0.5))),
+            Proto::Lesu => Box::new(PerStation::new(LesuProtocol::new())),
+        }
+    }
+
+    /// Network size for the scenario. LESU spends a long estimation
+    /// phase before electing (runs are ~100x longer than LESK's), so its
+    /// scenarios use a smaller network to keep the dev-profile suite
+    /// fast; the backends are compared on identical scenarios either way.
+    fn n(self) -> u64 {
+        match self {
+            Proto::Lesk => 48,
+            Proto::Lesu => 24,
+        }
+    }
+
+    /// Monte-Carlo trials per backend per CD model (same runtime
+    /// reasoning as [`Proto::n`]; LESU still contributes 60 × 3 CD
+    /// models = 180 paired samples per adversary).
+    fn trials(self) -> u64 {
+        match self {
+            Proto::Lesk => 150,
+            Proto::Lesu => 60,
+        }
+    }
+
+    /// Slot cap. LESU resolves in tens of slots where it resolves at all
+    /// (strong CD), but without collision detection its runs walk the
+    /// whole budget — capped runs are censored *identically* on both
+    /// backends (both report `slots = max_slots`), so a tight cap keeps
+    /// the comparison sound while bounding the runtime.
+    fn max_slots(self) -> u64 {
+        match self {
+            Proto::Lesk => 200_000,
+            Proto::Lesu => 30_000,
+        }
+    }
+}
+
+/// Per-backend Monte-Carlo samples of the three observables the
+/// equivalence suite compares.
+struct Samples {
+    /// Run length in slots (election time, or the cap for timeouts).
+    slots: Vec<f64>,
+    /// Total channel accesses (transmissions + listens).
+    energy: Vec<f64>,
+    /// Winner-identity histogram, bucketed so chi-square cells stay
+    /// well-populated at modest trial counts.
+    winners: Vec<u64>,
+}
+
+const WINNER_BUCKETS: usize = 8;
+
+fn sample(
+    run: impl Fn(&SimConfig) -> RunReport,
+    n: u64,
+    trials: u64,
+    max_slots: u64,
+    cd: CdModel,
+    base_seed: u64,
+) -> Samples {
+    let mut s = Samples { slots: Vec::new(), energy: Vec::new(), winners: vec![0; WINNER_BUCKETS] };
+    for t in 0..trials {
+        let config = SimConfig::new(n, cd).with_seed(base_seed + t).with_max_slots(max_slots);
+        let r = run(&config);
+        s.slots.push(r.slots as f64);
+        s.energy.push(r.energy.total() as f64);
+        if let Some(w) = r.winner {
+            s.winners[(w as usize * WINNER_BUCKETS) / n as usize] += 1;
+        }
+    }
+    s
+}
+
+/// Run one protocol × adversary scenario through both exact backends
+/// under every CD model and require KS/chi-square equivalence on
+/// election slots, energy, and winner identity at `α = 0.001`.
+fn assert_backends_equivalent(proto: Proto, adv: &AdversarySpec, base_seed: u64) {
+    let (n, trials, cap) = (proto.n(), proto.trials(), proto.max_slots());
+    for cd in [CdModel::Strong, CdModel::Weak, CdModel::NoCd] {
+        let legacy =
+            sample(|c| run_exact(c, adv, |_| proto.build()), n, trials, cap, cd, base_seed);
+        let fast =
+            sample(|c| run_fast_exact(c, adv, |_| proto.build()), n, trials, cap, cd, base_seed);
+
+        let ks_slots = ks_two_sample(&legacy.slots, &fast.slots);
+        assert!(
+            ks_slots.equivalent(),
+            "{proto:?}/{cd:?}: election-slot distributions diverge \
+             (D = {:.4} > {:.4})",
+            ks_slots.statistic,
+            ks_slots.critical
+        );
+        let ks_energy = ks_two_sample(&legacy.energy, &fast.energy);
+        assert!(
+            ks_energy.equivalent(),
+            "{proto:?}/{cd:?}: energy distributions diverge (D = {:.4} > {:.4})",
+            ks_energy.statistic,
+            ks_energy.critical
+        );
+        let resolved: u64 = legacy.winners.iter().chain(fast.winners.iter()).sum();
+        if resolved > 0 {
+            let chi = chi_square_two_sample(&legacy.winners, &fast.winners);
+            assert!(
+                chi.equivalent(),
+                "{proto:?}/{cd:?}: winner-identity distributions diverge \
+                 (χ² = {:.2} > {:.2}, dof {})",
+                chi.statistic,
+                chi.critical,
+                chi.dof
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_exact_equivalent_lesk_passive() {
+    assert_backends_equivalent(Proto::Lesk, &AdversarySpec::passive(), 0x1000);
+}
+
+#[test]
+fn fast_exact_equivalent_lesk_saturating() {
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Saturating);
+    assert_backends_equivalent(Proto::Lesk, &adv, 0x2000);
+}
+
+#[test]
+fn fast_exact_equivalent_lesk_random_jammer() {
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Random { prob: 0.7 });
+    assert_backends_equivalent(Proto::Lesk, &adv, 0x3000);
+}
+
+#[test]
+fn fast_exact_equivalent_lesu_passive() {
+    assert_backends_equivalent(Proto::Lesu, &AdversarySpec::passive(), 0x4000);
+}
+
+#[test]
+fn fast_exact_equivalent_lesu_saturating() {
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Saturating);
+    assert_backends_equivalent(Proto::Lesu, &adv, 0x5000);
+}
+
+#[test]
+fn fast_exact_equivalent_lesu_random_jammer() {
+    let adv = AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Random { prob: 0.7 });
+    assert_backends_equivalent(Proto::Lesu, &adv, 0x6000);
+}
+
+/// The fault subsystem through both backends: the `FaultPlan` schedule is
+/// derived from plan-private streams (identical either way), so the
+/// degradation statistics must match distributionally too.
+#[test]
+fn fast_exact_equivalent_under_fault_plan() {
+    const N: u64 = 48;
+    const TRIALS: u64 = 150;
+    let adv = AdversarySpec::passive();
+    let collect = |fast: bool| {
+        let mut slots = Vec::new();
+        let mut outcomes = [0u64; 2]; // [elected, not elected]
+        for t in 0..TRIALS {
+            let config =
+                SimConfig::new(N, CdModel::Strong).with_seed(0x7000 + t).with_max_slots(200_000);
+            let plan = FaultPlan::new(900 + t)
+                .with_random_crashes(N, 0.2, 2_000)
+                .with_recoveries(500)
+                .with_staggered_wakeups(N, 256);
+            let factory =
+                |_| Box::new(PerStation::new(LeskProtocol::new(0.5))) as Box<dyn Protocol>;
+            let r = if fast {
+                run_fast_exact_faulty(&config, &adv, &plan, factory)
+            } else {
+                run_exact_faulty(&config, &adv, &plan, factory)
+            };
+            slots.push(r.slots as f64);
+            outcomes[usize::from(!r.leader_elected())] += 1;
+        }
+        (slots, outcomes)
+    };
+    let (legacy_slots, legacy_outcomes) = collect(false);
+    let (fast_slots, fast_outcomes) = collect(true);
+    let ks = ks_two_sample(&legacy_slots, &fast_slots);
+    assert!(
+        ks.equivalent(),
+        "faulty election-slot distributions diverge (D = {:.4} > {:.4})",
+        ks.statistic,
+        ks.critical
+    );
+    let chi = chi_square_two_sample(&legacy_outcomes, &fast_outcomes);
+    assert!(
+        chi.equivalent(),
+        "outcome mix diverges: legacy {legacy_outcomes:?} vs fast {fast_outcomes:?}"
+    );
 }

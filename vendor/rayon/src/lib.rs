@@ -223,6 +223,39 @@ fn run_chunked<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> 
     out.into_iter().flatten().collect()
 }
 
+/// A fork-join scope handle mirroring `rayon::scope`: tasks spawned
+/// through it may borrow from the enclosing stack frame (`'scope`) and
+/// are all joined before [`scope`] returns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope. The closure receives the scope handle
+    /// (so it can spawn more tasks), matching real rayon's signature.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Structured fork-join parallelism over borrowed data, mirroring
+/// `rayon::scope`: every task spawned inside `op` completes before the
+/// call returns, and a panic in any task is re-raised on the caller.
+///
+/// The shim maps each spawned task to one scoped OS thread, so callers
+/// should spawn O([`current_num_threads`]) coarse tasks, not one per item.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -289,5 +322,42 @@ mod tests {
                 .collect();
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_joins_borrowed_chunks() {
+        let mut data = vec![0u64; 97];
+        let chunk = 10;
+        crate::scope(|s| {
+            for (c, slice) in data.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    for (j, x) in slice.iter_mut().enumerate() {
+                        *x = (c * chunk + j) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn scope_returns_value_and_propagates_panics() {
+        let v = crate::scope(|_| 42);
+        assert_eq!(v, 42);
+        let r = std::panic::catch_unwind(|| {
+            crate::scope(|s| s.spawn(|_| panic!("boom")));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_spawn_can_nest() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        crate::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        });
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
     }
 }
