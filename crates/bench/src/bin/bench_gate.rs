@@ -26,8 +26,9 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, PerStation, Protocol, SimArena,
-    SimConfig, UniformProtocol,
+    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan, FaultPlan,
+    FaultyStations, LeaderLedger, PerStation, Protocol, SimArena, SimConfig, SimCore,
+    SplitBrainObserver, UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState, Observation};
 use std::hint::black_box;
@@ -129,6 +130,40 @@ fn arms() -> Vec<Arm> {
                 })
             },
         },
+        // Paired A/B arms for the open-world stack's disabled-path
+        // overhead: same workload as exact_slots, once pristine and once
+        // through the churn wrapper (empty plan, proven bit-identical)
+        // with the split-brain observer attached to an idle ledger. The
+        // pair gates *against each other* (same process, same run — no
+        // machine-speed normalization needed); see the churn-overhead
+        // check in `main`.
+        Arm {
+            group: "churn_overhead",
+            name: "pristine/1024",
+            iters: 5,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(2_000);
+                black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))));
+            }),
+        },
+        Arm {
+            group: "churn_overhead",
+            name: "empty_plan/1024",
+            iters: 5,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(2_000);
+                let plan = ChurnPlan::empty().overlay(&FaultPlan::empty());
+                let mut split = SplitBrainObserver::new(LeaderLedger::new(512));
+                let mut stations = FaultyStations::new(&config, &plan, |_: u64| {
+                    Box::new(PerStation::new(AlwaysCollide)) as Box<dyn Protocol>
+                });
+                black_box(SimCore::new(&config, &adv).observe(&mut split).run(&mut stations));
+            }),
+        },
         Arm {
             group: "fast_exact",
             name: "fast/65536",
@@ -169,17 +204,22 @@ struct Cli {
     samples: u32,
     normalize: bool,
     baseline: String,
+    /// Allowed overhead of the churn wrapper + idle split-brain observer
+    /// over the pristine exact run (same-process A/B pair).
+    churn_overhead_threshold: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--threshold <frac>] [--samples <n>] [--normalize] \
-         [--baseline <path>]\n\n\
+         [--baseline <path>] [--churn-overhead-threshold <frac>]\n\n\
          Fails (exit 1) when a measured engine_throughput arm regresses more\n\
          than <frac> (default 0.10) against the newest results/BENCH.json\n\
          entry. --normalize gates each arm against the median measured/recorded\n\
          ratio instead of the raw ratio, absorbing uniform machine-speed\n\
-         differences (use in CI)."
+         differences (use in CI). The churn_overhead pair additionally gates\n\
+         the disabled open-world stack against its same-run pristine twin\n\
+         (default limit 0.02)."
     );
     std::process::exit(2);
 }
@@ -190,6 +230,7 @@ fn parse_args(args: &[String]) -> Cli {
         samples: 5,
         normalize: false,
         baseline: "results/BENCH.json".into(),
+        churn_overhead_threshold: 0.02,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -216,6 +257,15 @@ fn parse_args(args: &[String]) -> Cli {
             },
             "--normalize" => cli.normalize = true,
             "--baseline" => cli.baseline = value("--baseline"),
+            "--churn-overhead-threshold" => {
+                match value("--churn-overhead-threshold").parse::<f64>() {
+                    Ok(t) if t > 0.0 => cli.churn_overhead_threshold = t,
+                    _ => {
+                        eprintln!("error: --churn-overhead-threshold expects a positive fraction");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -294,6 +344,29 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Same-run A/B gate: the open-world stack, fully disabled (empty
+    // churn plan + idle split-brain observer), must be nearly free next
+    // to the pristine exact run measured in the *same* process.
+    let arm_ns = |name: &str| {
+        rows.iter()
+            .find(|(label, _, _)| label == &format!("churn_overhead/{name}"))
+            .map(|(_, ns, _)| *ns)
+    };
+    if let (Some(pristine), Some(wrapped)) = (arm_ns("pristine/1024"), arm_ns("empty_plan/1024")) {
+        let overhead = wrapped / pristine - 1.0;
+        let verdict = if overhead > cli.churn_overhead_threshold {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "churn_overhead (disabled path)           {overhead:>+7.1}%   (limit {:.0}%)   {verdict}",
+            cli.churn_overhead_threshold * 100.0,
+            overhead = overhead * 100.0,
+        );
     }
 
     if failed {

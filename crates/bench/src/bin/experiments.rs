@@ -232,6 +232,7 @@ fn main() {
                 "e22" => "jamming + environmental noise (beyond the model)",
                 "e23" => "duty-cycled LESK: energy vs latency (extension, ref [13])",
                 "e24" => "fault injection + restart supervision (beyond the model)",
+                "e25" => "open-world elections: churn, leases, split brain (beyond the model)",
                 _ => "",
             };
             eprintln!("  {id:<4} {title}");

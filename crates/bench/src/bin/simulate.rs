@@ -9,10 +9,16 @@
 //! With `--trials k` the run is repeated over consecutive seeds and the
 //! JSON carries summary statistics instead of a single report.
 
+use std::sync::Arc;
+
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
-use jle_engine::{run_cohort, run_exact, MonteCarlo, RunReport, SimConfig, StopRule};
+use jle_engine::{
+    run_cohort, run_exact, run_exact_churn, ChurnPlan, FaultPlan, FaultyStations, LeaderLedger,
+    MonteCarlo, PerStation, Protocol, RunReport, SimConfig, SimCore, SplitBrainObserver, StopRule,
+};
 use jle_protocols::{
-    lewk, lewu, ArssMacProtocol, BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol,
+    lewk, lewu, ArssMacProtocol, BackoffProtocol, LeaseConfig, LeaseProtocol, LeskProtocol,
+    LesuProtocol, WillardProtocol,
 };
 use jle_radio::CdModel;
 use serde_json::json;
@@ -30,6 +36,20 @@ struct Args {
     trials: u64,
     max_slots: u64,
     noise: f64,
+    /// Seed of the churn plan (`--churn-*`); defaults to `seed ^ 0xC4C4`
+    /// when any churn probability is set.
+    churn_seed: Option<u64>,
+    churn_join_prob: f64,
+    churn_join_window: u64,
+    churn_leave_prob: f64,
+    churn_leave_window: u64,
+    /// 0 = departures are permanent.
+    churn_rejoin_after: u64,
+    /// Lease mode (`--lease-beacon`): wrap each station's election in a
+    /// leader lease and run to the horizon.
+    lease_beacon: Option<u64>,
+    lease_miss_tolerance: u32,
+    lease_timeout: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +65,15 @@ fn parse_args() -> Result<Args, String> {
         trials: 1,
         max_slots: 10_000_000,
         noise: 0.0,
+        churn_seed: None,
+        churn_join_prob: 0.0,
+        churn_join_window: 1_024,
+        churn_leave_prob: 0.0,
+        churn_leave_window: 2_048,
+        churn_rejoin_after: 0,
+        lease_beacon: None,
+        lease_miss_tolerance: 10,
+        lease_timeout: 512,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +101,38 @@ fn parse_args() -> Result<Args, String> {
                 args.max_slots = val.parse().map_err(|e| format!("--max-slots: {e}"))?
             }
             "--noise" => args.noise = val.parse().map_err(|e| format!("--noise: {e}"))?,
+            "--churn-seed" => {
+                args.churn_seed = Some(val.parse().map_err(|e| format!("--churn-seed: {e}"))?)
+            }
+            "--churn-join-prob" => {
+                args.churn_join_prob = val.parse().map_err(|e| format!("--churn-join-prob: {e}"))?
+            }
+            "--churn-join-window" => {
+                args.churn_join_window =
+                    val.parse().map_err(|e| format!("--churn-join-window: {e}"))?
+            }
+            "--churn-leave-prob" => {
+                args.churn_leave_prob =
+                    val.parse().map_err(|e| format!("--churn-leave-prob: {e}"))?
+            }
+            "--churn-leave-window" => {
+                args.churn_leave_window =
+                    val.parse().map_err(|e| format!("--churn-leave-window: {e}"))?
+            }
+            "--churn-rejoin-after" => {
+                args.churn_rejoin_after =
+                    val.parse().map_err(|e| format!("--churn-rejoin-after: {e}"))?
+            }
+            "--lease-beacon" => {
+                args.lease_beacon = Some(val.parse().map_err(|e| format!("--lease-beacon: {e}"))?)
+            }
+            "--lease-miss-tolerance" => {
+                args.lease_miss_tolerance =
+                    val.parse().map_err(|e| format!("--lease-miss-tolerance: {e}"))?
+            }
+            "--lease-timeout" => {
+                args.lease_timeout = val.parse().map_err(|e| format!("--lease-timeout: {e}"))?
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 2;
@@ -100,13 +161,102 @@ fn adversary_spec(args: &Args) -> Result<AdversarySpec, String> {
     Ok(AdversarySpec::new(rate, args.t_window, kind))
 }
 
+impl Args {
+    fn wants_churn(&self) -> bool {
+        self.churn_seed.is_some() || self.churn_join_prob > 0.0 || self.churn_leave_prob > 0.0
+    }
+
+    /// The churn plan for one engine seed (empty when no churn flags).
+    fn churn_plan(&self, seed: u64) -> ChurnPlan {
+        if !self.wants_churn() {
+            return ChurnPlan::empty();
+        }
+        let mut plan = ChurnPlan::new(self.churn_seed.unwrap_or(seed ^ 0xC4C4))
+            .with_staggered_joins(self.n, self.churn_join_prob, self.churn_join_window)
+            .with_random_leaves(self.n, self.churn_leave_prob, self.churn_leave_window);
+        if self.churn_rejoin_after > 0 {
+            plan = plan.with_rejoins(self.churn_rejoin_after);
+        }
+        plan
+    }
+}
+
+/// Open-world run: leases over supervised LESK, churn overlay, horizon
+/// stop, split-brain tracking. Needs strong CD (beacon self-verification).
+fn run_lease(
+    args: &Args,
+    adv: &AdversarySpec,
+    seed: u64,
+    beacon: u64,
+) -> Result<RunReport, String> {
+    if args.cd != CdModel::Strong {
+        return Err("lease mode needs --cd strong (beacon self-verification)".into());
+    }
+    if args.protocol != "lesk" {
+        return Err(format!("lease mode supports --protocol lesk, not {}", args.protocol));
+    }
+    let config = SimConfig::new(args.n, args.cd)
+        .with_seed(seed)
+        .with_max_slots(args.max_slots)
+        .with_noise(args.noise)
+        .with_stop(StopRule::Horizon);
+    let lease = LeaseConfig::new(beacon, args.lease_miss_tolerance, args.lease_timeout);
+    let ledger = LeaderLedger::new(args.lease_timeout);
+    let plan = args.churn_plan(seed).overlay(&FaultPlan::empty());
+    let eps = args.eps;
+    let factory = {
+        let ledger = Arc::clone(&ledger);
+        move |i: u64| -> Box<dyn Protocol> {
+            Box::new(LeaseProtocol::over_supervised_lesk(
+                i,
+                eps,
+                16_384,
+                lease,
+                Arc::clone(&ledger),
+            ))
+        }
+    };
+    let mut split = SplitBrainObserver::new(ledger);
+    let mut stations = FaultyStations::new(&config, &plan, factory);
+    Ok(SimCore::new(&config, adv).observe(&mut split).run(&mut stations))
+}
+
 fn run_one(args: &Args, adv: &AdversarySpec, seed: u64) -> Result<RunReport, String> {
+    if let Some(beacon) = args.lease_beacon {
+        return run_lease(args, adv, seed, beacon);
+    }
     let config = SimConfig::new(args.n, args.cd)
         .with_seed(seed)
         .with_max_slots(args.max_slots)
         .with_noise(args.noise);
     let eps = args.eps;
     let n = args.n;
+    if args.wants_churn() {
+        let plan = args.churn_plan(seed);
+        return Ok(match args.protocol.as_str() {
+            "lesk" => run_exact_churn(&config, adv, &plan, move |_| {
+                Box::new(PerStation::new(LeskProtocol::new(eps)))
+            }),
+            "lesu" => run_exact_churn(&config, adv, &plan, |_| {
+                Box::new(PerStation::new(LesuProtocol::new()))
+            }),
+            "lewk" => {
+                run_exact_churn(&config.with_stop(StopRule::AllTerminated), adv, &plan, move |_| {
+                    Box::new(lewk(eps))
+                })
+            }
+            "lewu" => {
+                run_exact_churn(&config.with_stop(StopRule::AllTerminated), adv, &plan, |_| {
+                    Box::new(lewu())
+                })
+            }
+            other => {
+                return Err(format!(
+                    "churn runs use the exact engine: --protocol lesk|lesu|lewk|lewu, not {other}"
+                ))
+            }
+        });
+    }
     Ok(match args.protocol.as_str() {
         "lesk" => run_cohort(&config, adv, || LeskProtocol::new(eps)),
         "lesu" => run_cohort(&config, adv, LesuProtocol::new),
@@ -132,7 +282,10 @@ fn main() {
                 "usage: simulate [--n N] [--protocol lesk|lesu|lewk|lewu|backoff|willard|arss] \
                  [--eps F] [--adversary none|saturating|periodic|random|reactive|burst|adaptive|sweep-targeted] \
                  [--adv-eps F] [--t-window T] [--cd strong|weak|none] [--seed S] [--trials K] \
-                 [--max-slots M] [--noise Q]"
+                 [--max-slots M] [--noise Q] \
+                 [--churn-seed S] [--churn-join-prob F] [--churn-join-window W] \
+                 [--churn-leave-prob F] [--churn-leave-window W] [--churn-rejoin-after D] \
+                 [--lease-beacon B] [--lease-miss-tolerance K] [--lease-timeout L]"
             );
             std::process::exit(2);
         }
@@ -154,13 +307,24 @@ fn main() {
                         "n": args.n, "protocol": args.protocol, "eps": args.eps,
                         "adversary": adv.label(), "cd": format!("{:?}", args.cd),
                         "seed": args.seed, "noise": args.noise,
+                        "churn": args.wants_churn(),
+                        "lease_beacon": args.lease_beacon,
                     },
                     "slots": r.slots,
+                    "outcome": r.outcome().label(),
                     "leader_elected": r.leader_elected(),
                     "resolved_at": r.resolved_at,
                     "winner": r.winner,
                     "leaders": r.leaders,
                     "timed_out": r.timed_out,
+                    "split_brain": args.lease_beacon.map(|_| json!({
+                        "believers": r.split_brain.believers,
+                        "windows": r.split_brain.windows,
+                        "split_slots": r.split_brain.split_slots,
+                        "longest_split": r.split_brain.longest_split,
+                        "max_believers": r.split_brain.max_believers,
+                        "reelections": r.split_brain.reelections,
+                    })),
                     "jam_fraction": r.jam_fraction(),
                     "noise_slots": r.noise_slots,
                     "counts": {
@@ -191,7 +355,14 @@ fn main() {
         match r {
             Ok(r) => {
                 slots.push(r.slots as f64);
-                successes += r.leader_elected() as u64;
+                // Open-world (lease) runs never terminate, so "success"
+                // is the ledger's verdict; closed-world runs keep the
+                // classic election criterion.
+                successes += if args.lease_beacon.is_some() {
+                    (r.outcome() == jle_engine::Outcome::Elected) as u64
+                } else {
+                    r.leader_elected() as u64
+                };
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -31,13 +31,14 @@ pub mod e21_no_cd;
 pub mod e22_noise;
 pub mod e23_duty_cycle;
 pub mod e24_faults;
+pub mod e25_churn;
 
 use crate::common::{ExpContext, ExperimentResult};
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -67,6 +68,7 @@ pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<ExperimentResult> {
         "e22" => e22_noise::run(ctx),
         "e23" => e23_duty_cycle::run(ctx),
         "e24" => e24_faults::run(ctx),
+        "e25" => e25_churn::run(ctx),
         _ => return None,
     })
 }

@@ -160,6 +160,7 @@ impl StationSet for ExactStations {
                     false
                 }
             }
+            StopRule::Horizon => false,
         }
     }
 
@@ -167,6 +168,7 @@ impl StationSet for ExactStations {
         report.timed_out = match config.stop {
             StopRule::FirstCleanSingle => report.resolved_at.is_none() && !self.finished(),
             StopRule::AllTerminated => !report.all_terminated,
+            StopRule::Horizon => false,
         };
         report.cap_hit = report.timed_out && report.slots == config.max_slots;
         report.leaders = self

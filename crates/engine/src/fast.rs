@@ -510,6 +510,7 @@ impl StationSet for FastExactStations {
                     false
                 }
             }
+            StopRule::Horizon => false,
         }
     }
 
@@ -517,6 +518,7 @@ impl StationSet for FastExactStations {
         report.timed_out = match config.stop {
             StopRule::FirstCleanSingle => report.resolved_at.is_none() && !self.finished(),
             StopRule::AllTerminated => !report.all_terminated,
+            StopRule::Horizon => false,
         };
         report.cap_hit = report.timed_out && report.slots == config.max_slots;
         let mut leaders: Vec<u64> = self

@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cohort;
 pub mod config;
 pub mod core;
 pub mod exact;
 pub mod fast;
 pub mod faults;
+pub mod leadership;
 pub mod observer;
 pub mod protocol;
 pub mod report;
@@ -58,6 +60,7 @@ pub mod streams;
 pub mod telemetry;
 
 pub use crate::core::{SimArena, SimCore, SlotActions, SlotFlags, StationSet, ADV_SEED_XOR};
+pub use churn::{run_exact_churn, run_fast_exact_churn, ChurnPlan, StationChurn};
 pub use cohort::{
     run_cohort, run_cohort_against_oracle, run_cohort_in, run_cohort_with, sample_transmitters,
     CohortStations,
@@ -68,9 +71,10 @@ pub use fast::{
     run_fast_exact, run_fast_exact_faulty, run_fast_exact_in, FastExactStations, FastFaultyStations,
 };
 pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, FaultyStations, StationFaults};
+pub use leadership::{LeaderLedger, SplitBrainObserver, SplitInterval};
 pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserver};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
-pub use report::{EnergyStats, Outcome, RunReport, SlotCost};
+pub use report::{EnergyStats, Outcome, RunReport, SlotCost, SplitBrainStats};
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};
 pub use streams::{mix64, station_key, StationRng};
 pub use telemetry::{EngineMetrics, TelemetryObserver};

@@ -99,6 +99,12 @@ pub enum Outcome {
     LeaderCrashed,
     /// More than one station holds `Leader`: a validity violation.
     MultiLeader,
+    /// Leadership beliefs were tracked (see [`crate::leadership`]) and ≥2
+    /// stations still believe they lead at the end of the run: an
+    /// *unresolved* split brain. Transient splits that converged back to
+    /// one believer classify as [`Outcome::Elected`]; their extent is in
+    /// [`RunReport::split_brain`].
+    SplitBrain,
     /// The run consumed its entire `max_slots` budget without satisfying
     /// its stop rule.
     DeadlineExceeded,
@@ -108,10 +114,11 @@ pub enum Outcome {
 
 impl Outcome {
     /// All outcomes, in taxonomy order (for table columns).
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 6] = [
         Outcome::Elected,
         Outcome::LeaderCrashed,
         Outcome::MultiLeader,
+        Outcome::SplitBrain,
         Outcome::DeadlineExceeded,
         Outcome::NoLeader,
     ];
@@ -122,9 +129,53 @@ impl Outcome {
             Outcome::Elected => "elected",
             Outcome::LeaderCrashed => "leader-crashed",
             Outcome::MultiLeader => "multi-leader",
+            Outcome::SplitBrain => "split-brain",
             Outcome::DeadlineExceeded => "deadline",
             Outcome::NoLeader => "no-leader",
         }
+    }
+}
+
+/// Split-brain accounting, deposited by
+/// [`SplitBrainObserver`](crate::leadership::SplitBrainObserver). All
+/// zeros (with `tracked == false`) for runs without leadership tracking,
+/// so the field is invisible to the closed-world taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SplitBrainStats {
+    /// Whether a leadership ledger was attached to the run at all. Only
+    /// tracked runs can classify as [`Outcome::SplitBrain`].
+    #[serde(default)]
+    pub tracked: bool,
+    /// Number of maximal slot windows with ≥2 concurrent believers.
+    #[serde(default)]
+    pub windows: u64,
+    /// Total slots spent with ≥2 concurrent believers.
+    #[serde(default)]
+    pub split_slots: u64,
+    /// Longest single split window, in slots (open windows count to the
+    /// end of the run) — the time-to-resolution bound.
+    #[serde(default)]
+    pub longest_split: u64,
+    /// Peak number of concurrent believers.
+    #[serde(default)]
+    pub max_believers: u64,
+    /// Stations still believing they lead when the run ended (sorted).
+    #[serde(default)]
+    pub believers: Vec<u64>,
+    /// Re-elections triggered over the run (lease losses).
+    #[serde(default)]
+    pub reelections: u64,
+}
+
+impl SplitBrainStats {
+    /// Whether the run ended split (≥2 live believers).
+    pub fn split_at_end(&self) -> bool {
+        self.believers.len() >= 2
+    }
+
+    /// Whether the run ended converged on exactly one believer.
+    pub fn converged(&self) -> bool {
+        self.tracked && self.believers.len() == 1
     }
 }
 
@@ -158,6 +209,10 @@ pub struct RunReport {
     /// by [`crate::faults::run_exact_faulty`]).
     #[serde(default)]
     pub leader_crashed: bool,
+    /// Split-brain accounting for leadership-tracked (open-world) runs;
+    /// all-default otherwise.
+    #[serde(default)]
+    pub split_brain: SplitBrainStats,
     /// Channel statistics over the whole run (`counts.jammed` includes
     /// noise-corrupted slots — they are indistinguishable on the air).
     pub counts: StateCounts,
@@ -198,9 +253,22 @@ impl RunReport {
     /// Precedence: a validity violation (`MultiLeader`) dominates, then
     /// liveness-after-election failure (`LeaderCrashed`), then success,
     /// then the budget-exhaustion/no-result split.
+    ///
+    /// Leadership-tracked (open-world) runs are judged by the ledger
+    /// instead: the terminal-status fields never settle in a run that is
+    /// designed to keep going, so the set of live believers at the end is
+    /// the verdict — split, converged, or leaderless.
     pub fn outcome(&self) -> Outcome {
         if self.leaders.len() > 1 {
             return Outcome::MultiLeader;
+        }
+        if self.split_brain.tracked {
+            return match self.split_brain.believers.len() {
+                0 if self.leader_crashed => Outcome::LeaderCrashed,
+                0 => Outcome::NoLeader,
+                1 => Outcome::Elected,
+                _ => Outcome::SplitBrain,
+            };
         }
         if self.leader_crashed {
             return Outcome::LeaderCrashed;
@@ -306,7 +374,33 @@ mod tests {
     #[test]
     fn outcome_labels_cover_all() {
         let labels: Vec<&str> = Outcome::ALL.iter().map(|o| o.label()).collect();
-        assert_eq!(labels.len(), 5);
+        assert_eq!(labels.len(), 6);
         assert!(labels.contains(&"deadline"));
+        assert!(labels.contains(&"split-brain"));
+    }
+
+    #[test]
+    fn tracked_runs_are_judged_by_the_ledger() {
+        // An open-world (Horizon) run: no terminal statuses, a resolution
+        // slot from some election along the way.
+        let mut r = RunReport { resolved_at: Some(10), ..Default::default() };
+        r.split_brain.tracked = true;
+        assert_eq!(r.outcome(), Outcome::NoLeader, "nobody believes: leaderless");
+        r.split_brain.believers = vec![4];
+        assert_eq!(r.outcome(), Outcome::Elected);
+        assert!(r.split_brain.converged());
+        r.split_brain.believers = vec![4, 9];
+        assert_eq!(r.outcome(), Outcome::SplitBrain);
+        assert!(r.split_brain.split_at_end());
+        // The original winner having churned out does not matter once the
+        // cohort converged on a (possibly different) believer.
+        r.split_brain.believers = vec![9];
+        r.leader_crashed = true;
+        assert_eq!(r.outcome(), Outcome::Elected);
+        r.split_brain.believers = vec![];
+        assert_eq!(r.outcome(), Outcome::LeaderCrashed);
+        // A terminal-status validity violation still dominates.
+        r.leaders = vec![1, 2];
+        assert_eq!(r.outcome(), Outcome::MultiLeader);
     }
 }

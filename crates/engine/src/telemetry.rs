@@ -46,6 +46,15 @@ pub struct EngineMetrics {
     pub awake_stations: Gauge,
     /// `jle_engine_anomalies_total` — anomalies detected across runs.
     pub anomalies_total: Counter,
+    /// `jle_engine_split_brain_windows_total` — maximal slot windows with
+    /// ≥2 concurrent leadership believers, across observed runs.
+    pub split_brain_windows_total: Counter,
+    /// `jle_engine_split_brain_slots_total` — slots spent with ≥2
+    /// concurrent believers, across observed runs.
+    pub split_brain_slots_total: Counter,
+    /// `jle_engine_reelections_total` — lease-loss re-elections across
+    /// observed runs.
+    pub reelections_total: Counter,
 }
 
 impl EngineMetrics {
@@ -73,6 +82,18 @@ impl EngineMetrics {
             ),
             anomalies_total: registry
                 .counter("jle_engine_anomalies_total", "anomalies detected across observed runs"),
+            split_brain_windows_total: registry.counter(
+                "jle_engine_split_brain_windows_total",
+                "slot windows with >=2 concurrent leadership believers",
+            ),
+            split_brain_slots_total: registry.counter(
+                "jle_engine_split_brain_slots_total",
+                "slots spent with >=2 concurrent leadership believers",
+            ),
+            reelections_total: registry.counter(
+                "jle_engine_reelections_total",
+                "lease-loss re-elections across observed runs",
+            ),
         }
     }
 }
@@ -201,6 +222,16 @@ impl TelemetryObserver {
                 AnomalyKind::MultiLeader,
                 format!("{} stations terminated as Leader", report.leaders.len()),
             )),
+            Outcome::SplitBrain => Some((
+                AnomalyKind::SplitBrain,
+                format!(
+                    "unresolved split brain: believers {:?} after {} split window(s), \
+                     longest {} slot(s)",
+                    report.split_brain.believers,
+                    report.split_brain.windows,
+                    report.split_brain.longest_split
+                ),
+            )),
             Outcome::LeaderCrashed => Some((
                 AnomalyKind::LeaderCrashed,
                 format!("leader {:?} crashed before the horizon", report.winner),
@@ -247,6 +278,11 @@ impl SlotObserver for TelemetryObserver {
             }
             m.adv_budget_spent.set(report.adv_budget_spent);
             m.awake_stations.set(self.last_awake as f64);
+            if report.split_brain.tracked {
+                m.split_brain_windows_total.add(report.split_brain.windows);
+                m.split_brain_slots_total.add(report.split_brain.split_slots);
+                m.reelections_total.add(report.split_brain.reelections);
+            }
         }
         if let Some((kind, detail)) = Self::classify(report) {
             if let Some(m) = &self.metrics {
@@ -417,6 +453,36 @@ mod tests {
         let _ =
             SimCore::new(&config, &AdversarySpec::passive()).observe(&mut obs).run(&mut stations);
         assert_eq!(metrics.awake_stations.get(), 4.0, "all four silent stations listen");
+    }
+
+    #[test]
+    fn split_brain_runs_update_counters_and_classify() {
+        use crate::report::SplitBrainStats;
+        let reg = MetricRegistry::new();
+        let metrics = EngineMetrics::register(&reg);
+        let config = SimConfig::new(4, CdModel::Strong).with_seed(2).with_max_slots(10);
+        let mut obs = TelemetryObserver::new(&config).with_metrics(metrics.clone());
+        let mut report = RunReport { slots: 10, ..Default::default() };
+        report.split_brain = SplitBrainStats {
+            tracked: true,
+            windows: 2,
+            split_slots: 9,
+            longest_split: 6,
+            max_believers: 2,
+            believers: vec![1, 4],
+            reelections: 3,
+        };
+        obs.after_run(&report);
+        assert_eq!(metrics.split_brain_windows_total.get(), 2);
+        assert_eq!(metrics.split_brain_slots_total.get(), 9);
+        assert_eq!(metrics.reelections_total.get(), 3);
+        assert_eq!(metrics.anomalies_total.get(), 1, "unresolved split is an anomaly");
+        let (kind, detail) = TelemetryObserver::classify(&report).expect("split at end");
+        assert_eq!(kind, AnomalyKind::SplitBrain);
+        assert!(detail.contains("believers [1, 4]"), "got {detail}");
+        // A converged run updates counters but is not anomalous.
+        report.split_brain.believers = vec![4];
+        assert!(TelemetryObserver::classify(&report).is_none());
     }
 
     #[test]

@@ -16,9 +16,10 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_cohort_against_oracle, run_exact, run_exact_faulty, run_fast_exact,
-    run_fast_exact_faulty, Action, FaultPlan, PerStation, Protocol, RunReport, SimConfig,
-    StationFaults, Status, StopRule, UniformProtocol,
+    run_cohort, run_cohort_against_oracle, run_exact, run_exact_churn, run_exact_faulty,
+    run_fast_exact, run_fast_exact_churn, run_fast_exact_faulty, Action, ChurnPlan, FaultPlan,
+    PerStation, Protocol, RunReport, SimConfig, StationChurn, StationFaults, Status, StopRule,
+    UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState, Observation};
 use rand::RngCore;
@@ -420,6 +421,82 @@ fn fast_faulty_nocd() {
         |_| Box::new(PerStation::new(Backoff::new())),
     );
     check("fast_faulty_nocd", &r);
+}
+
+// ---------------------------------------------------------------- churn --
+//
+// Open-world identity contract: an *empty* churn plan (and an empty fault
+// plan) must be byte-identical to the pristine run on both exact backends
+// — checked against the very same fixtures the pristine tests pin, so the
+// wrappers cannot drift even by one RNG draw.
+
+#[test]
+fn churn_empty_plan_matches_pristine_exact() {
+    let r =
+        run_exact_churn(&exact_config(CdModel::Strong), &saturating(), &ChurnPlan::empty(), |_| {
+            Box::new(PerStation::new(Backoff::new()))
+        });
+    check("exact_strong", &r);
+}
+
+#[test]
+fn churn_empty_plan_matches_pristine_fast() {
+    let r = run_fast_exact_churn(
+        &exact_config(CdModel::Strong),
+        &saturating(),
+        &ChurnPlan::empty(),
+        |_| Box::new(PerStation::new(Backoff::new())),
+    );
+    check("fast_exact_strong", &r);
+}
+
+#[test]
+fn faulty_empty_plan_matches_pristine_exact() {
+    let r = run_exact_faulty(
+        &exact_config(CdModel::Strong),
+        &saturating(),
+        &FaultPlan::empty(),
+        |_| Box::new(PerStation::new(Backoff::new())),
+    );
+    check("exact_strong", &r);
+}
+
+#[test]
+fn faulty_empty_plan_matches_pristine_fast() {
+    let r = run_fast_exact_faulty(
+        &exact_config(CdModel::Strong),
+        &saturating(),
+        &FaultPlan::empty(),
+        |_| Box::new(PerStation::new(Backoff::new())),
+    );
+    check("fast_exact_strong", &r);
+}
+
+/// A churn plan exercising join, leave, and leave-with-rejoin at once.
+fn churn_stress_plan() -> ChurnPlan {
+    ChurnPlan::empty()
+        .with_station(1, StationChurn::founding().joining_at(40))
+        .with_station(2, StationChurn::founding().leaving_at(200))
+        .with_station(3, StationChurn::founding().leave_and_rejoin(100, 400))
+        .with_station(4, StationChurn::founding().joining_at(25).leave_and_rejoin(300, 900))
+}
+
+#[test]
+fn golden_churn_strong() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::Horizon).with_max_slots(1_200);
+    let r = run_exact_churn(&config, &saturating(), &churn_stress_plan(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("churn_strong", &r);
+}
+
+#[test]
+fn fast_churn_strong() {
+    let config = exact_config(CdModel::Strong).with_stop(StopRule::Horizon).with_max_slots(1_200);
+    let r = run_fast_exact_churn(&config, &saturating(), &churn_stress_plan(), |_| {
+        Box::new(PerStation::new(Backoff::new()))
+    });
+    check("fast_churn_strong", &r);
 }
 
 // --------------------------------------------------------------- oracle --

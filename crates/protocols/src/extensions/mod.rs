@@ -11,7 +11,10 @@
 //!   *despite jamming* needs more than a public schedule;
 //! * [`supervisor`] — restart-with-backoff supervision of a per-station
 //!   election, for stations that crash, oversleep, or mis-sense
-//!   (experiment E24).
+//!   (experiment E24);
+//! * [`lease`] — leader leases with missed-beacon loss detection and
+//!   re-election, for open-world (churn) runs that must converge back to
+//!   one leader after leader departure or partition (experiment E25).
 //!
 //! These are *our* constructions following the paper's suggestion; the
 //! paper proves nothing about them, so the corresponding experiments
@@ -20,13 +23,16 @@
 pub mod duty_cycle;
 pub mod fair_use;
 pub mod k_selection;
+pub mod lease;
 pub mod size_approx;
 pub mod supervisor;
 
 pub use duty_cycle::DutyCycledLesk;
 pub use fair_use::{run_fair_use, targeted_tdma_jammer, FairUseReport};
 pub use k_selection::{run_k_selection, KSelectionReport};
+pub use lease::{LeaseConfig, LeaseLossCause, LeaseProtocol, ReElectionRecord, ReElectionSink};
 pub use size_approx::SizeApproxProtocol;
 pub use supervisor::{
-    RestartCause, RestartFactory, RestartRecord, RestartSink, Supervisor, BACKOFF_CAP_DOUBLINGS,
+    RestartCause, RestartFactory, RestartRecord, RestartSink, Supervisor, SupervisorMetrics,
+    BACKOFF_CAP_DOUBLINGS,
 };

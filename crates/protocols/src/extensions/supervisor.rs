@@ -25,6 +25,7 @@
 use crate::lesk::LeskProtocol;
 use jle_engine::{PerStation, Protocol, Status};
 use jle_radio::cd::Observation;
+use jle_telemetry::{Counter, MetricRegistry};
 use rand::RngCore;
 use serde::Value;
 use std::sync::Arc;
@@ -101,6 +102,72 @@ impl RestartRecord {
             ("silence".into(), Value::U64(self.silence)),
             ("restart_index".into(), Value::U64(self.restart_index as u64)),
         ])
+    }
+}
+
+/// The supervisor's `jle-metrics-v1` counter family: restarts by
+/// classified cause, so experiment runs can attribute restarts straight
+/// from a metrics snapshot instead of parsing flight-recorder artifacts.
+///
+/// Wire it with [`SupervisorMetrics::restart_sink`]:
+///
+/// ```
+/// use jle_protocols::extensions::{Supervisor, SupervisorMetrics};
+/// use jle_telemetry::MetricRegistry;
+///
+/// let registry = MetricRegistry::new();
+/// let metrics = SupervisorMetrics::register(&registry);
+/// let sup = Supervisor::over_lesk(0.5, 1024).with_restart_sink(metrics.restart_sink());
+/// # let _ = sup;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupervisorMetrics {
+    /// `jle_supervisor_restarts_wedged_total` — [`RestartCause::Wedged`].
+    pub wedged_total: Counter,
+    /// `jle_supervisor_restarts_crashed_total` — [`RestartCause::Crashed`].
+    pub crashed_total: Counter,
+    /// `jle_supervisor_restarts_cap_total` — [`RestartCause::Cap`].
+    pub cap_total: Counter,
+}
+
+impl SupervisorMetrics {
+    /// Register (or fetch) the family on `registry`.
+    pub fn register(registry: &MetricRegistry) -> Self {
+        SupervisorMetrics {
+            wedged_total: registry.counter(
+                "jle_supervisor_restarts_wedged_total",
+                "supervisor restarts classified as wedged (busy channel, no resolution)",
+            ),
+            crashed_total: registry.counter(
+                "jle_supervisor_restarts_crashed_total",
+                "supervisor restarts classified as crashed (dark network)",
+            ),
+            cap_total: registry.counter(
+                "jle_supervisor_restarts_cap_total",
+                "supervisor restarts past the backoff cap",
+            ),
+        }
+    }
+
+    /// Bump the counter for one classified restart.
+    pub fn count(&self, cause: RestartCause) {
+        match cause {
+            RestartCause::Wedged => self.wedged_total.inc(),
+            RestartCause::Crashed => self.crashed_total.inc(),
+            RestartCause::Cap => self.cap_total.inc(),
+        }
+    }
+
+    /// Restarts counted so far, across all causes.
+    pub fn total(&self) -> u64 {
+        self.wedged_total.get() + self.crashed_total.get() + self.cap_total.get()
+    }
+
+    /// A [`RestartSink`] that feeds these counters; composable with any
+    /// additional sink the caller keeps.
+    pub fn restart_sink(&self) -> RestartSink {
+        let metrics = self.clone();
+        Arc::new(move |r| metrics.count(r.cause))
     }
 }
 
@@ -395,6 +462,26 @@ mod tests {
         assert_eq!(last.restart_index, BACKOFF_CAP_DOUBLINGS);
         assert_eq!(last.cause, RestartCause::Cap, "past the backoff cap");
         assert_eq!(log[log.len() - 2].cause, RestartCause::Crashed, "one earlier is still normal");
+    }
+
+    #[test]
+    fn metrics_sink_attributes_restarts_by_cause() {
+        let registry = MetricRegistry::new();
+        let metrics = SupervisorMetrics::register(&registry);
+        let mut sup = Supervisor::new(4, Box::new(|| Box::new(PerStation::new(Fixed(0.0)))))
+            .with_restart_sink(metrics.restart_sink());
+        // Window 1 (4 slots): dark network → crashed.
+        for slot in 0..4 {
+            sup.feedback(slot, false, null_obs());
+        }
+        // Window 2 (8 slots): collisions → wedged.
+        for slot in 4..12 {
+            sup.feedback(slot, false, Observation::State(ChannelState::Collision));
+        }
+        assert_eq!(metrics.crashed_total.get(), 1);
+        assert_eq!(metrics.wedged_total.get(), 1);
+        assert_eq!(metrics.cap_total.get(), 0);
+        assert_eq!(metrics.total(), 2);
     }
 
     #[test]

@@ -37,8 +37,9 @@ pub use classify::SlotTaxonomy;
 pub use estimation::EstimationProtocol;
 pub use extensions::{
     run_fair_use, run_k_selection, targeted_tdma_jammer, DutyCycledLesk, FairUseReport,
-    KSelectionReport, RestartCause, RestartFactory, RestartRecord, RestartSink, SizeApproxProtocol,
-    Supervisor, BACKOFF_CAP_DOUBLINGS,
+    KSelectionReport, LeaseConfig, LeaseLossCause, LeaseProtocol, ReElectionRecord, ReElectionSink,
+    RestartCause, RestartFactory, RestartRecord, RestartSink, SizeApproxProtocol, Supervisor,
+    SupervisorMetrics, BACKOFF_CAP_DOUBLINGS,
 };
 pub use lesk::LeskProtocol;
 pub use lesu::LesuProtocol;

@@ -132,17 +132,25 @@ pub enum AnomalyKind {
     MultiLeader,
     /// A supervisor watchdog fired and restarted a station's election.
     SupervisorRestart,
+    /// ≥2 stations concurrently believed they were leader (open-world
+    /// lease runs; resolved or not — the detail says which).
+    SplitBrain,
+    /// A station lost sight of the leader's lease (missed beacons) and
+    /// re-entered election.
+    LeaseLost,
     /// A trial panicked and was caught by `MonteCarlo::run_caught`.
     Panic,
 }
 
 impl AnomalyKind {
     /// All anomaly kinds, for exhaustive iteration in tests and docs.
-    pub const ALL: [AnomalyKind; 5] = [
+    pub const ALL: [AnomalyKind; 7] = [
         AnomalyKind::CapHit,
         AnomalyKind::LeaderCrashed,
         AnomalyKind::MultiLeader,
         AnomalyKind::SupervisorRestart,
+        AnomalyKind::SplitBrain,
+        AnomalyKind::LeaseLost,
         AnomalyKind::Panic,
     ];
 
@@ -153,6 +161,8 @@ impl AnomalyKind {
             AnomalyKind::LeaderCrashed => "leader_crashed",
             AnomalyKind::MultiLeader => "multi_leader",
             AnomalyKind::SupervisorRestart => "supervisor_restart",
+            AnomalyKind::SplitBrain => "split_brain",
+            AnomalyKind::LeaseLost => "lease_lost",
             AnomalyKind::Panic => "panic",
         }
     }

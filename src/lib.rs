@@ -48,13 +48,15 @@ pub mod prelude {
     pub use jle_adversary::{AdversarySpec, JamBudget, JamStrategy, JamStrategyKind, Rate};
     pub use jle_analysis::{linear_fit, log2_fit, Series, Summary, Table};
     pub use jle_engine::{
-        panic_count, run_cohort, run_cohort_with, run_exact, run_exact_faulty, FaultPlan,
-        FaultyStation, MonteCarlo, Outcome, PerStation, Protocol, RunReport, SimConfig,
-        StationFaults, StopRule, TrialOutcome,
+        panic_count, run_cohort, run_cohort_with, run_exact, run_exact_churn, run_exact_faulty,
+        run_fast_exact_churn, ChurnPlan, FaultPlan, FaultyStation, LeaderLedger, MonteCarlo,
+        Outcome, PerStation, Protocol, RunReport, SimConfig, SplitBrainObserver, SplitBrainStats,
+        StationChurn, StationFaults, StopRule, TrialOutcome,
     };
     pub use jle_protocols::{
-        lewk, lewu, ArssMacProtocol, BackoffProtocol, EstimationProtocol, LeskProtocol,
-        LesuProtocol, Notification, SlotTaxonomy, Supervisor, WillardProtocol,
+        lewk, lewu, ArssMacProtocol, BackoffProtocol, EstimationProtocol, LeaseConfig,
+        LeaseLossCause, LeaseProtocol, LeskProtocol, LesuProtocol, Notification, SlotTaxonomy,
+        Supervisor, SupervisorMetrics, WillardProtocol,
     };
     pub use jle_radio::{CdModel, ChannelState, Observation, SlotTruth};
 }
