@@ -207,6 +207,83 @@ struct Cli {
     /// Allowed overhead of the churn wrapper + idle split-brain observer
     /// over the pristine exact run (same-process A/B pair).
     churn_overhead_threshold: f64,
+    /// Latency budget for a warm-cache submission through an in-process
+    /// `jle-sweepd` service (socket round-trips + scheduling + cache
+    /// replay), in milliseconds.
+    sweepd_budget_ms: f64,
+}
+
+/// Same-run A/B pair for the sweepd service path: one work unit computed
+/// once into a shared store, then replayed warm both directly through an
+/// `Orchestrator` and through an in-process `jle-sweepd` over TCP
+/// loopback. Returns best-of-`samples` ns/iter for (direct, server).
+///
+/// The pair has no recorded baseline — the direct arm is this machine's
+/// own yardstick — so the gate is the absolute `--sweepd-budget-ms`
+/// bound on the server arm, not a BENCH.json comparison.
+fn measure_sweepd_overhead(samples: u32) -> std::io::Result<(f64, f64)> {
+    use jle_engine::SimConfig;
+    use jle_orchestrator::{Orchestrator, ResultStore, WorkSpec};
+    use jle_protocols::LeskProtocol;
+    use jle_sweepd::{Endpoint, ServerConfig, SweepClient, SweepServer};
+    use serde::Serialize;
+
+    let dir = std::env::temp_dir().join(format!("jle-bench-sweepd-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (n, max_slots, trials) = (64u64, 100_000u64, 32u64);
+    let spec = WorkSpec::new(
+        "bench_gate",
+        "sweepd_overhead",
+        serde_json::json!({
+            "kind": "cohort_election",
+            "n": n,
+            "cd": jle_radio::CdModel::Strong,
+            "adv": AdversarySpec::passive().to_json_value(),
+            "max_slots": max_slots,
+            "proto": {"proto": "lesk", "eps": 0.5f64},
+        }),
+        424_242,
+    );
+
+    let store = ResultStore::open(&dir)?;
+    let mut run_direct = || {
+        let orch = Orchestrator::with_store(store.clone());
+        let reports: Vec<jle_engine::RunReport> = orch.run_trials(&spec, trials, |seed| {
+            let config =
+                SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(max_slots);
+            run_cohort(&config, &AdversarySpec::passive(), || LeskProtocol::new(0.5))
+        });
+        black_box(reports);
+    };
+    let time_one = |run: &mut dyn FnMut(), iters: u32| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    time_one(&mut run_direct, 2); // warmup: first call computes the unit
+    let direct_ns =
+        (0..samples).map(|_| time_one(&mut run_direct, 10)).fold(f64::INFINITY, f64::min);
+
+    let config = ServerConfig { cache_dir: Some(dir.clone()), workers: 1, ..Default::default() };
+    let server = SweepServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()), config)
+        .map_err(|e| std::io::Error::other(format!("bind sweepd: {e}")))?;
+    let addr = server.tcp_addr().expect("tcp endpoint");
+    let handle = server.spawn();
+    let mut client = SweepClient::connect(&Endpoint::Tcp(addr.to_string()))
+        .map_err(|e| std::io::Error::other(format!("connect sweepd: {e}")))?;
+    let mut run_server = || {
+        black_box(client.run_reports(&spec, trials).expect("sweepd warm submission"));
+    };
+    time_one(&mut run_server, 2); // warmup
+    let server_ns =
+        (0..samples).map(|_| time_one(&mut run_server, 10)).fold(f64::INFINITY, f64::min);
+
+    drop(client);
+    let _ = handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((direct_ns, server_ns))
 }
 
 fn usage() -> ! {
@@ -219,7 +296,9 @@ fn usage() -> ! {
          ratio instead of the raw ratio, absorbing uniform machine-speed\n\
          differences (use in CI). The churn_overhead pair additionally gates\n\
          the disabled open-world stack against its same-run pristine twin\n\
-         (default limit 0.02)."
+         (default limit 0.02). The sweepd_overhead pair submits a warm-cache\n\
+         unit through an in-process jle-sweepd and gates the round-trip\n\
+         against --sweepd-budget-ms (default 50)."
     );
     std::process::exit(2);
 }
@@ -231,6 +310,7 @@ fn parse_args(args: &[String]) -> Cli {
         normalize: false,
         baseline: "results/BENCH.json".into(),
         churn_overhead_threshold: 0.02,
+        sweepd_budget_ms: 50.0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -266,6 +346,13 @@ fn parse_args(args: &[String]) -> Cli {
                     }
                 }
             }
+            "--sweepd-budget-ms" => match value("--sweepd-budget-ms").parse::<f64>() {
+                Ok(t) if t > 0.0 => cli.sweepd_budget_ms = t,
+                _ => {
+                    eprintln!("error: --sweepd-budget-ms expects a positive number");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -367,6 +454,32 @@ fn main() {
             cli.churn_overhead_threshold * 100.0,
             overhead = overhead * 100.0,
         );
+    }
+
+    // Absolute-budget gate: a warm-cache submission through the resident
+    // service (loopback round-trips + admission + scheduling + replay)
+    // must land within --sweepd-budget-ms. The same-run direct arm is
+    // printed next to it so the service's markup is visible.
+    match measure_sweepd_overhead(cli.samples) {
+        Ok((direct_ns, server_ns)) => {
+            let server_ms = server_ns / 1e6;
+            let verdict = if server_ms > cli.sweepd_budget_ms {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!("sweepd_overhead/direct_warm  {direct_ns:>12.0} ns/iter   (yardstick)");
+            println!(
+                "sweepd_overhead/server_warm  {server_ns:>12.0} ns/iter   \
+                 {server_ms:.2} ms (budget {:.0} ms)   {verdict}",
+                cli.sweepd_budget_ms
+            );
+        }
+        Err(e) => {
+            eprintln!("bench_gate: sweepd_overhead arm failed to run: {e}");
+            failed = true;
+        }
     }
 
     if failed {

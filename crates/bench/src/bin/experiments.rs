@@ -70,7 +70,10 @@ fn usage() -> ! {
          --engine <mode>    exact backend for per-station experiments:\n                     \
          exact (default) | fast-exact (active-set loop, counter-based\n                     \
          per-station streams; statistically equivalent, different bits —\n                     \
-         cache keys are tagged so results never alias)"
+         cache keys are tagged so results never alias)\n  \
+         --server <ep>      route supported cohort-election units through a\n                     \
+         resident jle-sweepd service (tcp:HOST:PORT or unix:PATH);\n                     \
+         unsupported units fall back to local execution"
     );
     std::process::exit(2);
 }
@@ -89,6 +92,7 @@ struct Cli {
     trace_out: Option<String>,
     flight_dir: Option<String>,
     engine: EngineMode,
+    server: Option<String>,
     ids: Vec<String>,
 }
 
@@ -106,6 +110,7 @@ fn parse_args(args: &[String]) -> Cli {
         trace_out: None,
         flight_dir: None,
         engine: EngineMode::default(),
+        server: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -144,6 +149,7 @@ fn parse_args(args: &[String]) -> Cli {
                     std::process::exit(2);
                 });
             }
+            "--server" => cli.server = Some(value("--server")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag {other}");
@@ -255,6 +261,22 @@ fn main() {
     let orch = Arc::new(build_orchestrator(&cli, &registry, &tracer));
     orch.announce();
     let mut ctx = ExpContext::new(cli.quick, Arc::clone(&orch)).with_engine(cli.engine);
+    if let Some(ep) = &cli.server {
+        let endpoint = jle_sweepd::Endpoint::parse(ep).unwrap_or_else(|e| {
+            eprintln!("error: --server: {e}");
+            std::process::exit(2);
+        });
+        match jle_sweepd::SweepClient::connect(&endpoint) {
+            Ok(client) => {
+                eprintln!("experiments: routing cohort elections through {endpoint}");
+                ctx = ctx.with_server(client);
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect to sweepd at {endpoint}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(dir) = &cli.flight_dir {
         match FlightRecorder::new(dir) {
             Ok(rec) => ctx = ctx.with_flight_recorder(Arc::new(rec)),

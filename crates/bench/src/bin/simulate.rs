@@ -21,6 +21,7 @@ use jle_protocols::{
     LesuProtocol, WillardProtocol,
 };
 use jle_radio::CdModel;
+use serde::Serialize;
 use serde_json::json;
 
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ struct Args {
     lease_beacon: Option<u64>,
     lease_miss_tolerance: u32,
     lease_timeout: u64,
+    /// Route the run through a resident `jle-sweepd` service
+    /// (`tcp:HOST:PORT` or `unix:PATH`). Only plain cohort elections
+    /// (no churn, lease, or noise) can be served remotely.
+    server: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         lease_beacon: None,
         lease_miss_tolerance: 10,
         lease_timeout: 512,
+        server: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -133,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
             "--lease-timeout" => {
                 args.lease_timeout = val.parse().map_err(|e| format!("--lease-timeout: {e}"))?
             }
+            "--server" => args.server = Some(val.clone()),
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 2;
@@ -221,6 +228,54 @@ fn run_lease(
     Ok(SimCore::new(&config, adv).observe(&mut split).run(&mut stations))
 }
 
+/// The scenario as a sweepd work-unit parameter tree, when the service
+/// can reconstruct it exactly. Churn, lease, noise, and non-uniform
+/// protocols only exist locally.
+fn server_params(args: &Args, adv: &AdversarySpec) -> Option<serde::Value> {
+    if args.wants_churn() || args.lease_beacon.is_some() || args.noise != 0.0 {
+        return None;
+    }
+    let proto = match args.protocol.as_str() {
+        "lesk" => json!({"proto": "lesk", "eps": args.eps}),
+        "lesu" => json!({"proto": "lesu"}),
+        "backoff" => json!({"proto": "backoff"}),
+        "willard" => json!({"proto": "willard"}),
+        _ => return None,
+    };
+    Some(json!({
+        "kind": "cohort_election",
+        "n": args.n,
+        "cd": args.cd,
+        "adv": adv.to_json_value(),
+        "max_slots": args.max_slots,
+        "proto": proto,
+    }))
+}
+
+/// Run the scenario on a resident `jle-sweepd` service and return the
+/// per-seed reports (`seed`, `seed+1`, … — the same seeds a local
+/// Monte-Carlo run uses).
+fn run_on_server(args: &Args, adv: &AdversarySpec, ep: &str) -> Result<Vec<RunReport>, String> {
+    let params = server_params(args, adv).ok_or_else(|| {
+        "--server only supports plain cohort elections \
+         (--protocol lesk|lesu|backoff|willard, no churn/lease/noise)"
+            .to_string()
+    })?;
+    let endpoint = jle_sweepd::Endpoint::parse(ep).map_err(|e| format!("--server: {e}"))?;
+    let mut client = jle_sweepd::SweepClient::connect(&endpoint)
+        .map_err(|e| format!("cannot connect to sweepd at {endpoint}: {e}"))?;
+    let point = format!(
+        "{}/n={}/cd={:?}/adv={}/seed={}",
+        args.protocol,
+        args.n,
+        args.cd,
+        adv.label(),
+        args.seed
+    );
+    let spec = jle_orchestrator::WorkSpec::new("simulate", &point, params, args.seed);
+    client.run_reports(&spec, args.trials.max(1)).map_err(|e| format!("sweepd {point}: {e}"))
+}
+
 fn run_one(args: &Args, adv: &AdversarySpec, seed: u64) -> Result<RunReport, String> {
     if let Some(beacon) = args.lease_beacon {
         return run_lease(args, adv, seed, beacon);
@@ -285,7 +340,8 @@ fn main() {
                  [--max-slots M] [--noise Q] \
                  [--churn-seed S] [--churn-join-prob F] [--churn-join-window W] \
                  [--churn-leave-prob F] [--churn-leave-window W] [--churn-rejoin-after D] \
-                 [--lease-beacon B] [--lease-miss-tolerance K] [--lease-timeout L]"
+                 [--lease-beacon B] [--lease-miss-tolerance K] [--lease-timeout L] \
+                 [--server tcp:HOST:PORT|unix:PATH]"
             );
             std::process::exit(2);
         }
@@ -298,8 +354,23 @@ fn main() {
         }
     };
 
+    let server_reports: Option<Vec<RunReport>> = match &args.server {
+        Some(ep) => match run_on_server(&args, &adv, ep) {
+            Ok(reports) => Some(reports),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     if args.trials <= 1 {
-        match run_one(&args, &adv, args.seed) {
+        let one = match &server_reports {
+            Some(reports) => Ok(reports[0].clone()),
+            None => run_one(&args, &adv, args.seed),
+        };
+        match one {
             Ok(r) => println!(
                 "{}",
                 serde_json::to_string_pretty(&json!({
@@ -347,8 +418,10 @@ fn main() {
         return;
     }
 
-    let mc = MonteCarlo::new(args.trials, args.seed);
-    let reports: Vec<Result<RunReport, String>> = mc.run(|seed| run_one(&args, &adv, seed));
+    let reports: Vec<Result<RunReport, String>> = match server_reports {
+        Some(reports) => reports.into_iter().map(Ok).collect(),
+        None => MonteCarlo::new(args.trials, args.seed).run(|seed| run_one(&args, &adv, seed)),
+    };
     let mut slots = Vec::new();
     let mut successes = 0u64;
     for r in &reports {

@@ -8,9 +8,10 @@ use jle_engine::{
 };
 use jle_orchestrator::{Orchestrator, WorkSpec};
 use jle_radio::CdModel;
+use jle_sweepd::SweepClient;
 use jle_telemetry::FlightRecorder;
 use serde::{Deserialize, Serialize, Value};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The outcome of one experiment: named tables plus free-form notes, all
 /// renderable to markdown and CSV.
@@ -132,12 +133,13 @@ pub struct ExpContext {
     orch: Arc<Orchestrator>,
     flight: Option<Arc<FlightRecorder>>,
     engine: EngineMode,
+    server: Option<Arc<Mutex<SweepClient>>>,
 }
 
 impl ExpContext {
     /// A context submitting work through `orch`.
     pub fn new(quick: bool, orch: Arc<Orchestrator>) -> Self {
-        ExpContext { quick, orch, flight: None, engine: EngineMode::default() }
+        ExpContext { quick, orch, flight: None, engine: EngineMode::default(), server: None }
     }
 
     /// A context with no cache and no reporters — unit tests and doc
@@ -173,6 +175,41 @@ impl ExpContext {
     /// The selected exact backend.
     pub fn engine(&self) -> EngineMode {
         self.engine
+    }
+
+    /// Builder: route supported cohort-election units through a resident
+    /// `jle-sweepd` service instead of the in-process orchestrator.
+    ///
+    /// Only units the service's work registry can reconstruct exactly
+    /// ([`jle_sweepd::is_supported`]) are routed; everything else — and
+    /// anything the server rejects or fails — falls back to local
+    /// execution, so experiments behave identically with or without a
+    /// server (the cache keys agree, so the two paths even share a
+    /// store).
+    pub fn with_server(mut self, client: SweepClient) -> Self {
+        self.server = Some(Arc::new(Mutex::new(client)));
+        self
+    }
+
+    /// Try to run a cohort-election unit on the attached server.
+    /// `None` means "not routed" (no server, unsupported params, or a
+    /// server-side error) and the caller must compute locally.
+    fn server_reports(&self, spec: &WorkSpec, trials: u64) -> Option<Vec<RunReport>> {
+        let server = self.server.as_ref()?;
+        if !jle_sweepd::is_supported(&spec.params) {
+            return None;
+        }
+        let mut client = server.lock().expect("sweepd client lock");
+        match client.run_reports(spec, trials) {
+            Ok(reports) => Some(reports),
+            Err(e) => {
+                eprintln!(
+                    "warning: sweepd {}/{}: {e}; computing locally",
+                    spec.experiment, spec.point
+                );
+                None
+            }
+        }
     }
 
     /// Run one per-station election on the selected exact backend.
@@ -242,11 +279,14 @@ impl ExpContext {
         F: Fn() -> U + Sync,
     {
         let params = election_params(proto, n, cd, adv, max_slots);
-        let reports: Vec<RunReport> =
-            self.run_trials(experiment, point, params, base_seed, trials, |seed| {
+        let spec = WorkSpec::new(experiment, point, params, base_seed);
+        let reports: Vec<RunReport> = match self.server_reports(&spec, trials) {
+            Some(reports) => reports,
+            None => self.orch.run_trials(&spec, trials, |seed| {
                 let config = SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
                 run_cohort(&config, adv, &factory)
-            });
+            }),
+        };
         let timeouts = reports.iter().filter(|r| r.timed_out).count() as u64;
         (reports.iter().map(|r| r.slots as f64).collect(), timeouts)
     }

@@ -13,7 +13,7 @@
 //! * bumping the salt (a code-behaviour change) or changing the projected
 //!   result type invalidates the cache instead of serving stale data.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Description of one cacheable unit of Monte-Carlo work.
 ///
@@ -52,6 +52,33 @@ impl WorkSpec {
             ("params".to_string(), self.params.clone()),
             ("point".to_string(), Value::Str(self.point.clone())),
         ])
+    }
+}
+
+impl Serialize for WorkSpec {
+    fn to_json_value(&self) -> Value {
+        self.to_value()
+    }
+}
+
+impl Deserialize for WorkSpec {
+    fn from_json_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |k: &str| {
+            v.get(k).ok_or_else(|| serde::Error::custom(format!("WorkSpec: missing field `{k}`")))
+        };
+        let experiment = field("experiment")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("WorkSpec: `experiment` must be a string"))?
+            .to_string();
+        let point = field("point")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("WorkSpec: `point` must be a string"))?
+            .to_string();
+        let base_seed = field("base_seed")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("WorkSpec: `base_seed` must be a u64"))?;
+        let params = field("params")?.clone();
+        Ok(WorkSpec { experiment, point, params, base_seed })
     }
 }
 

@@ -47,6 +47,35 @@ pub enum CachePolicy {
     Force,
 }
 
+/// Cooperative cancellation handle, checked at chunk boundaries.
+///
+/// Clones share one flag: hand one clone to
+/// [`Orchestrator::cancel_token`] and keep another wherever the cancel
+/// decision is made (a service's `cancel` frame, a signal handler, a
+/// watchdog). Once fired it stays fired — the unit aborts at the next
+/// chunk boundary with [`Interrupted::Cancelled`], leaving every
+/// completed chunk checkpointed so a later run resumes or recomputes
+/// cleanly.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Why a unit stopped early.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Interrupted {
@@ -57,6 +86,24 @@ pub enum Interrupted {
         /// budget ran out.
         completed_trials: u64,
     },
+    /// The unit's [`CancelToken`] fired. Completed chunks are already
+    /// checkpointed; the remainder was never started.
+    Cancelled {
+        /// Trials already available (cached or checkpointed) at the
+        /// cancellation boundary.
+        completed_trials: u64,
+    },
+}
+
+impl Interrupted {
+    /// Trials already available (cached or checkpointed) when the unit
+    /// stopped.
+    pub fn completed_trials(&self) -> u64 {
+        match *self {
+            Interrupted::ChunkBudgetExhausted { completed_trials }
+            | Interrupted::Cancelled { completed_trials } => completed_trials,
+        }
+    }
 }
 
 impl std::fmt::Display for Interrupted {
@@ -64,6 +111,9 @@ impl std::fmt::Display for Interrupted {
         match self {
             Interrupted::ChunkBudgetExhausted { completed_trials } => {
                 write!(f, "chunk budget exhausted after {completed_trials} completed trials")
+            }
+            Interrupted::Cancelled { completed_trials } => {
+                write!(f, "cancelled after {completed_trials} completed trials")
             }
         }
     }
@@ -86,6 +136,8 @@ pub struct Orchestrator {
     /// the budget; at zero the unit aborts with [`Interrupted`], modelling
     /// a mid-sweep kill at a checkpoint boundary.
     chunk_budget: Option<AtomicU64>,
+    /// Cooperative cancellation, checked before each executed chunk.
+    cancel: Option<CancelToken>,
     started: Instant,
 }
 
@@ -103,6 +155,7 @@ impl Orchestrator {
             stats: Arc::new(Stats::default()),
             tracer: SpanRecorder::disabled(),
             chunk_budget: None,
+            cancel: None,
             started: Instant::now(),
         }
     }
@@ -114,6 +167,17 @@ impl Orchestrator {
         o.store = Some(ResultStore::open(dir)?);
         o.policy = CachePolicy::Complete;
         Ok(o)
+    }
+
+    /// An orchestrator sharing an already-open [`ResultStore`] handle,
+    /// with the default [`CachePolicy::Complete`]. Cheap — no filesystem
+    /// work — so a service can build one per submitted job over a single
+    /// store.
+    pub fn with_store(store: ResultStore) -> Self {
+        let mut o = Self::ephemeral();
+        o.store = Some(store);
+        o.policy = CachePolicy::Complete;
+        o
     }
 
     /// Set the cache policy. Setting anything but `Off` without a store
@@ -186,6 +250,15 @@ impl Orchestrator {
         self
     }
 
+    /// Attach a cooperative [`CancelToken`]: once it fires, the running
+    /// unit aborts at the next chunk boundary with
+    /// [`Interrupted::Cancelled`]. Fully cached units complete without
+    /// consulting the token (there is no computation to cancel).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Effective worker parallelism for executed chunks.
     pub fn effective_jobs(&self) -> usize {
         MonteCarlo::new(0, 0).with_jobs(self.jobs.unwrap_or(0)).effective_jobs()
@@ -243,8 +316,9 @@ impl Orchestrator {
     /// to a result; it must be deterministic in the seed and fully
     /// described by `spec` — anything else aliases in the cache.
     ///
-    /// Errors only via the chunk-budget test hook; production paths
-    /// always complete (store corruption degrades to recomputation).
+    /// Errors only via the chunk-budget test hook or an attached
+    /// [`CancelToken`]; production paths without either always complete
+    /// (store corruption degrades to recomputation).
     pub fn try_run_trials<R, F>(
         &self,
         spec: &WorkSpec,
@@ -322,6 +396,10 @@ impl Orchestrator {
             if cached[i].is_some() {
                 continue;
             }
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                let completed_trials = cached_trials + executed_trials;
+                return Err(Interrupted::Cancelled { completed_trials });
+            }
             if let Some(budget) = &self.chunk_budget {
                 let left = budget.load(Ordering::Relaxed);
                 if left == 0 {
@@ -379,7 +457,8 @@ impl Orchestrator {
         Ok(out)
     }
 
-    /// [`Self::try_run_trials`], panicking on the (test-only) interrupt.
+    /// [`Self::try_run_trials`], panicking on interruption (chunk budget
+    /// or cancellation).
     pub fn run_trials<R, F>(&self, spec: &WorkSpec, trials: u64, f: F) -> Vec<R>
     where
         R: Send + Serialize + Deserialize + SlotCost,
@@ -555,6 +634,67 @@ mod tests {
         let b2: Vec<u64> = warm_fast.run_trials(&spec(), 20, |s| trial(s) ^ 1);
         assert_eq!(warm_fast.stats_snapshot().executed_trials, 0);
         assert_eq!(b, b2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_aborts_before_the_first_chunk() {
+        let token = CancelToken::new();
+        token.cancel();
+        let orch = Orchestrator::ephemeral().chunk_size(8).cancel_token(token);
+        let err = orch.try_run_trials::<u64, _>(&spec(), 50, trial).unwrap_err();
+        assert_eq!(err, Interrupted::Cancelled { completed_trials: 0 });
+        assert_eq!(err.completed_trials(), 0);
+        assert_eq!(orch.stats_snapshot().executed_trials, 0);
+    }
+
+    #[test]
+    fn cancel_mid_unit_keeps_completed_chunks_and_resumes() {
+        // A reporter that fires the token after the first executed chunk:
+        // deterministic mid-unit cancellation at a checkpoint boundary.
+        struct CancelAfterFirstChunk(CancelToken);
+        impl crate::telemetry::Reporter for CancelAfterFirstChunk {
+            fn report(&self, event: &Event<'_>) {
+                if matches!(event, Event::ChunkFinished { .. }) {
+                    self.0.cancel();
+                }
+            }
+        }
+
+        let dir = tmp_dir("cancel");
+        let token = CancelToken::new();
+        let orch = Orchestrator::with_cache_dir(&dir)
+            .unwrap()
+            .chunk_size(8)
+            .cancel_token(token.clone())
+            .reporter(CancelAfterFirstChunk(token.clone()));
+        let err = orch.try_run_trials::<u64, _>(&spec(), 50, trial).unwrap_err();
+        assert_eq!(err, Interrupted::Cancelled { completed_trials: 8 });
+        assert!(token.is_cancelled());
+        assert_eq!(orch.stats_snapshot().executed_trials, 8);
+
+        // The completed chunk is checkpointed: a Resume run reuses it and
+        // assembles the bit-identical full unit.
+        let resumed =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).policy(CachePolicy::Resume);
+        let got: Vec<u64> = resumed.run_trials(&spec(), 50, trial);
+        assert_eq!(resumed.stats_snapshot().cached_trials, 8);
+        assert_eq!(got, MonteCarlo::new(50, 5000).run(trial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fully_cached_unit_completes_despite_cancellation() {
+        let dir = tmp_dir("cancel-cached");
+        let warmup = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8);
+        let a: Vec<u64> = warmup.run_trials(&spec(), 50, trial);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let warm = Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).cancel_token(token);
+        let b = warm.try_run_trials::<u64, _>(&spec(), 50, trial).unwrap();
+        assert_eq!(a, b, "cache-served units have nothing to cancel");
+        assert_eq!(warm.stats_snapshot().executed_trials, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

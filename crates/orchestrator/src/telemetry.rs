@@ -544,6 +544,49 @@ mod tests {
     }
 
     #[test]
+    fn slot_accounting_holds_under_concurrent_sink_writers() {
+        // Satellite: the sweep service shares one registry across all
+        // client jobs, so many worker threads feed live_slot_sink
+        // concurrently while chunk completions credit simulated_slots.
+        // Every batch must land exactly once and the live <= simulated
+        // invariant must hold at the final flush.
+        const WRITERS: u64 = 8;
+        const BATCHES: u64 = 1000;
+        const BATCH: u64 = 64;
+
+        let registry = MetricRegistry::new();
+        let stats = Stats::on_registry(&registry);
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                // Each worker gets its own sink closure (its own counter
+                // handle), like each job's ThroughputObserver would.
+                let mut sink = stats.live_slot_sink();
+                let simulated = stats.simulated_slots.clone();
+                scope.spawn(move || {
+                    for _ in 0..BATCHES {
+                        sink(BATCH);
+                        // The chunk flush credits the same work.
+                        simulated.add(BATCH);
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.live_slots, WRITERS * BATCHES * BATCH, "no lost live batches");
+        assert_eq!(snap.simulated_slots, WRITERS * BATCHES * BATCH, "no lost chunk credits");
+        assert!(stats.check_slot_accounting().is_ok());
+
+        // A second Stats view over the same registry sees identical
+        // totals — the shared-registry contract the service relies on.
+        let view = Stats::on_registry(&registry);
+        assert_eq!(view.snapshot(), snap);
+
+        // And a stray double-credit on the live side is still caught.
+        stats.live_slots.add(1);
+        assert!(stats.check_slot_accounting().is_err());
+    }
+
+    #[test]
     fn events_render_to_tagged_objects() {
         let ev = Event::UnitStarted {
             experiment: "e1",

@@ -1,0 +1,408 @@
+//! The sweep-client library: connect, submit, stream, collect.
+//!
+//! [`SweepClient`] is a thin synchronous wrapper over one JSONL
+//! connection. The bench CLIs' `--server` mode and the soak harness
+//! both build on [`SweepClient::run_reports`], which retries through
+//! backpressure (`rejected` frames carry a `retry_after_ms` hint),
+//! waits out progress frames, and deserializes the terminal `result`
+//! payload back into [`RunReport`]s — so a server round-trip is a
+//! drop-in replacement for a local [`jle_orchestrator::Orchestrator`]
+//! call on the same `WorkSpec`.
+
+use crate::protocol::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
+use crate::server::{Endpoint, SweepStream};
+use jle_engine::RunReport;
+use jle_orchestrator::WorkSpec;
+use serde::{Deserialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// Everything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something unparsable or out of protocol.
+    Protocol(String),
+    /// Backpressure: the submission was refused even after retries.
+    Rejected {
+        /// Server-provided reason.
+        reason: String,
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server cannot run this work kind (compute locally instead).
+    Unsupported(String),
+    /// The job was cancelled before completion.
+    Cancelled {
+        /// Trials already checkpointed at cancellation.
+        completed_trials: u64,
+    },
+    /// The job failed server-side.
+    Failed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Rejected { reason, retry_after_ms } => {
+                write!(f, "rejected: {reason} (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ClientError::Cancelled { completed_trials } => {
+                write!(f, "cancelled after {completed_trials} trials")
+            }
+            ClientError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The server's `hello` answer.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Protocol version string (must be [`PROTOCOL_VERSION`]).
+    pub proto: String,
+    /// Worker pool size.
+    pub workers: u64,
+    /// Bounded queue length.
+    pub max_queue: u64,
+    /// Per-client fair share.
+    pub client_share: u64,
+}
+
+/// A terminal `result` payload.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The unit's fingerprint key.
+    pub key: String,
+    /// Trials actually executed server-side (0 = fully cache-served).
+    pub executed_trials: u64,
+    /// Trials served from the store.
+    pub cached_trials: u64,
+    /// Submission-to-result wall time measured by the server.
+    pub wall_secs: f64,
+    /// The raw JSON array of per-trial results, in trial order.
+    pub results: Value,
+}
+
+impl SweepOutcome {
+    /// Deserialize the payload into typed reports.
+    pub fn reports(&self) -> Result<Vec<RunReport>, ClientError> {
+        let seq = self
+            .results
+            .as_seq()
+            .ok_or_else(|| ClientError::Protocol("result payload is not an array".to_string()))?;
+        seq.iter()
+            .map(|v| {
+                RunReport::from_json_value(v)
+                    .map_err(|e| ClientError::Protocol(format!("bad report: {e}")))
+            })
+            .collect()
+    }
+}
+
+/// A live submission: the ticket [`SweepClient::wait`] redeems.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Request id the server echoes on every frame of this job.
+    pub req_id: u64,
+    /// The unit's fingerprint key.
+    pub key: String,
+    /// Whether the submission coalesced onto an in-flight computation.
+    pub dedup: bool,
+    /// Queue length at admission.
+    pub queue_depth: u64,
+}
+
+/// Progress observed while waiting on a submission.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressUpdate {
+    /// Trials finished so far.
+    pub done_trials: u64,
+    /// Total trials in the unit.
+    pub total_trials: u64,
+    /// Executed throughput.
+    pub trials_per_sec: f64,
+    /// Server's remaining-time estimate.
+    pub eta_secs: f64,
+}
+
+/// One synchronous JSONL connection to a sweep service.
+pub struct SweepClient {
+    reader: BufReader<SweepStream>,
+    writer: SweepStream,
+    info: ServerInfo,
+    next_id: u64,
+}
+
+impl SweepClient {
+    /// Connect and handshake.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, ClientError> {
+        let stream = SweepStream::connect(endpoint)?;
+        let writer = stream.try_clone()?;
+        let mut client = SweepClient {
+            reader: BufReader::new(stream),
+            writer,
+            info: ServerInfo { proto: String::new(), workers: 0, max_queue: 0, client_share: 0 },
+            next_id: 0,
+        };
+        let id = client.send(&ClientFrame::Hello { id: 0 })?;
+        match client.read_frame()? {
+            ServerFrame::Hello { id: got, proto, workers, max_queue, client_share }
+                if got == id =>
+            {
+                if proto != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks {proto}, client speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                client.info = ServerInfo { proto, workers, max_queue, client_share };
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!("expected hello, got {other:?}"))),
+        }
+    }
+
+    /// The server's handshake parameters.
+    pub fn server_info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Bound how long [`SweepClient::wait`] blocks on a silent server.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(dur)?;
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &ClientFrame) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let frame = match frame.clone() {
+            ClientFrame::Hello { .. } => ClientFrame::Hello { id },
+            ClientFrame::Submit { spec, trials, .. } => ClientFrame::Submit { id, spec, trials },
+            ClientFrame::Subscribe { key, .. } => ClientFrame::Subscribe { id, key },
+            ClientFrame::Status { key, .. } => ClientFrame::Status { id, key },
+            ClientFrame::Cancel { key, .. } => ClientFrame::Cancel { id, key },
+            ClientFrame::Metrics { .. } => ClientFrame::Metrics { id },
+            ClientFrame::Shutdown { .. } => ClientFrame::Shutdown { id },
+        };
+        self.writer.write_all(frame.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    fn read_frame(&mut self) -> Result<ServerFrame, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("server closed the connection".to_string()));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return ServerFrame::parse(trimmed)
+                .map_err(|e| ClientError::Protocol(format!("bad server frame: {e}")));
+        }
+    }
+
+    /// Submit one unit; does not wait for the result.
+    pub fn submit(&mut self, spec: &WorkSpec, trials: u64) -> Result<Submission, ClientError> {
+        let id = self.send(&ClientFrame::Submit { id: 0, spec: clone_spec(spec), trials })?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Accepted { id: got, key, dedup, queue_depth, .. } if got == id => {
+                    return Ok(Submission { req_id: id, key, dedup, queue_depth });
+                }
+                ServerFrame::Rejected { id: got, reason, retry_after_ms } if got == id => {
+                    return Err(ClientError::Rejected { reason, retry_after_ms });
+                }
+                ServerFrame::Error { id: got, reason } if got == id => {
+                    return Err(if reason.starts_with("unsupported work") {
+                        ClientError::Unsupported(reason)
+                    } else {
+                        ClientError::Protocol(reason)
+                    });
+                }
+                // Frames for other in-flight requests on this connection
+                // (progress of an earlier submission) are fine to skip
+                // here; `wait` is the consumer that cares.
+                _ => continue,
+            }
+        }
+    }
+
+    /// Block until `submission` reaches a terminal frame, feeding
+    /// progress updates to `on_progress`.
+    pub fn wait(
+        &mut self,
+        submission: &Submission,
+        mut on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<SweepOutcome, ClientError> {
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Progress {
+                    id,
+                    done_trials,
+                    total_trials,
+                    trials_per_sec,
+                    eta_secs,
+                    ..
+                } if id == submission.req_id => {
+                    on_progress(&ProgressUpdate {
+                        done_trials,
+                        total_trials,
+                        trials_per_sec,
+                        eta_secs,
+                    });
+                }
+                ServerFrame::Result {
+                    id,
+                    key,
+                    executed_trials,
+                    cached_trials,
+                    wall_secs,
+                    results,
+                    ..
+                } if id == submission.req_id => {
+                    return Ok(SweepOutcome {
+                        key,
+                        executed_trials,
+                        cached_trials,
+                        wall_secs,
+                        results: results.as_ref().clone(),
+                    });
+                }
+                ServerFrame::Cancelled { id, completed_trials, .. } if id == submission.req_id => {
+                    return Err(ClientError::Cancelled { completed_trials });
+                }
+                ServerFrame::Failed { id, reason, .. } if id == submission.req_id => {
+                    return Err(ClientError::Failed(reason));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Submit with bounded backpressure retries, then wait.
+    pub fn submit_and_wait(
+        &mut self,
+        spec: &WorkSpec,
+        trials: u64,
+        max_retries: u32,
+        on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<SweepOutcome, ClientError> {
+        let mut attempt = 0u32;
+        let submission = loop {
+            match self.submit(spec, trials) {
+                Ok(s) => break s,
+                Err(ClientError::Rejected { reason, retry_after_ms }) => {
+                    if attempt >= max_retries {
+                        return Err(ClientError::Rejected { reason, retry_after_ms });
+                    }
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 2_000)));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.wait(&submission, on_progress)
+    }
+
+    /// The full round trip: submit (with retries), wait, deserialize.
+    pub fn run_reports(
+        &mut self,
+        spec: &WorkSpec,
+        trials: u64,
+    ) -> Result<Vec<RunReport>, ClientError> {
+        self.submit_and_wait(spec, trials, 32, |_| {})?.reports()
+    }
+
+    /// Withdraw interest in an in-flight key.
+    pub fn cancel(&mut self, key: &str) -> Result<(), ClientError> {
+        let id = self.send(&ClientFrame::Cancel { id: 0, key: key.to_string() })?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Cancelled { id: got, .. } if got == id => return Ok(()),
+                ServerFrame::Error { id: got, reason } if got == id => {
+                    return Err(ClientError::Protocol(reason));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// One-shot job state by key.
+    pub fn status(&mut self, key: &str) -> Result<ServerFrame, ClientError> {
+        let id = self.send(&ClientFrame::Status { id: 0, key: key.to_string() })?;
+        loop {
+            match self.read_frame()? {
+                f @ ServerFrame::Status { .. } if f.id() == id => return Ok(f),
+                ServerFrame::Error { id: got, reason } if got == id => {
+                    return Err(ClientError::Protocol(reason));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Fetch `(server, this-connection)` metric snapshots
+    /// (`jle-metrics-v1` JSON values).
+    pub fn metrics(&mut self) -> Result<(Value, Value), ClientError> {
+        let id = self.send(&ClientFrame::Metrics { id: 0 })?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Metrics { id: got, server, client } if got == id => {
+                    return Ok((server, client));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.send(&ClientFrame::Shutdown { id: 0 })?;
+        loop {
+            match self.read_frame() {
+                Ok(ServerFrame::ShuttingDown { id: got }) if got == id => return Ok(()),
+                Ok(_) => continue,
+                // The server may close the socket right after acking.
+                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn clone_spec(spec: &WorkSpec) -> WorkSpec {
+    WorkSpec {
+        experiment: spec.experiment.clone(),
+        point: spec.point.clone(),
+        params: spec.params.clone(),
+        base_seed: spec.base_seed,
+    }
+}
+
+/// Lookup a counter value in a `jle-metrics-v1` snapshot JSON value.
+pub fn snapshot_counter(snapshot: &Value, name: &str) -> Option<u64> {
+    let metrics = snapshot.get("metrics")?.as_seq()?;
+    metrics
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some(name))
+        .and_then(|m| m.get("value"))
+        .and_then(Value::as_u64)
+}

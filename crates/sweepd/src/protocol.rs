@@ -1,0 +1,558 @@
+//! The versioned JSONL wire protocol between sweep clients and the
+//! service.
+//!
+//! One frame per line, UTF-8 JSON, newline-terminated. Every frame
+//! carries `"v": 1` (the [`PROTOCOL_VERSION`] schema number) and an
+//! `"op"` discriminator; client frames carry a client-chosen request id
+//! `"id"` that the server echoes in every frame belonging to that
+//! request, so a client can multiplex submissions over one connection.
+//!
+//! Design notes:
+//!
+//! * **Dedup is visible, not silent**: `accepted.dedup` tells a client
+//!   its submission attached to an already-in-flight computation.
+//! * **Backpressure is a first-class answer**: a full queue or an
+//!   exhausted per-client share yields `rejected` with a non-zero
+//!   `retry_after_ms` hint — never a dropped connection.
+//! * **Results carry the payload**: `result.results` is the full JSON
+//!   array of per-trial reports, rendered from one shared value so all
+//!   subscribers of a deduped computation receive byte-identical
+//!   payloads.
+
+use jle_orchestrator::WorkSpec;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+
+/// Protocol name + schema version, announced in the `hello` frame.
+pub const PROTOCOL_VERSION: &str = "jle-sweepd-v1";
+
+/// Numeric schema version stamped into every frame as `"v"`.
+pub const SCHEMA: u64 = 1;
+
+/// Frames a client sends to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Handshake: the client's first frame; the server answers `hello`.
+    Hello { id: u64 },
+    /// Submit a unit of work: `trials` trials of `spec`. Subscribes the
+    /// connection to the job's progress and result.
+    Submit { id: u64, spec: WorkSpec, trials: u64 },
+    /// Attach to an in-flight job by fingerprint key without submitting.
+    Subscribe { id: u64, key: String },
+    /// One-shot state query for an in-flight job.
+    Status { id: u64, key: String },
+    /// Withdraw this connection's interest in a job; the computation is
+    /// cancelled only when no other subscriber remains.
+    Cancel { id: u64, key: String },
+    /// Request server + per-connection metric snapshots.
+    Metrics { id: u64 },
+    /// Ask the server to drain and exit.
+    Shutdown { id: u64 },
+}
+
+/// Frames the server sends to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// Handshake answer: protocol version and scheduling limits.
+    Hello { id: u64, proto: String, workers: u64, max_queue: u64, client_share: u64 },
+    /// The submission was admitted. `dedup` marks attachment to an
+    /// already-in-flight identical computation; `queue_depth` is the
+    /// queue length after admission.
+    Accepted { id: u64, key: String, trials: u64, dedup: bool, queue_depth: u64 },
+    /// The submission was refused (bounded queue full, or the client's
+    /// fair share is exhausted). Retry after `retry_after_ms`.
+    Rejected { id: u64, reason: String, retry_after_ms: u64 },
+    /// Throttled progress for a running job this connection subscribes
+    /// to.
+    Progress {
+        id: u64,
+        key: String,
+        done_trials: u64,
+        total_trials: u64,
+        slots: u64,
+        trials_per_sec: f64,
+        eta_secs: f64,
+    },
+    /// Terminal: the job finished. `results` is the JSON array of
+    /// per-trial reports in trial order.
+    Result {
+        id: u64,
+        key: String,
+        trials: u64,
+        executed_trials: u64,
+        cached_trials: u64,
+        wall_secs: f64,
+        results: Arc<Value>,
+    },
+    /// Terminal: the job was cancelled before completion.
+    Cancelled { id: u64, key: String, completed_trials: u64 },
+    /// Terminal: the job failed (unsupported work kind, worker panic).
+    Failed { id: u64, key: String, reason: String },
+    /// Answer to `status`.
+    Status {
+        id: u64,
+        key: String,
+        state: String,
+        done_trials: u64,
+        total_trials: u64,
+        subscribers: u64,
+    },
+    /// Answer to `metrics`: the shared server registry and this
+    /// connection's private registry, both as `jle-metrics-v1`
+    /// snapshots.
+    Metrics { id: u64, server: Value, client: Value },
+    /// Answer to `shutdown`.
+    ShuttingDown { id: u64 },
+    /// Protocol-level error (unparsable frame, unknown op, bad spec).
+    Error { id: u64, reason: String },
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn frame(op: &str, id: u64, mut rest: Vec<(&str, Value)>) -> Value {
+    let mut entries =
+        vec![("v", Value::U64(SCHEMA)), ("op", Value::Str(op.to_string())), ("id", Value::U64(id))];
+    entries.append(&mut rest);
+    map(entries)
+}
+
+fn get_u64(v: &Value, k: &str) -> Result<u64, serde::Error> {
+    v.get(k)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| serde::Error::custom(format!("frame: missing u64 field `{k}`")))
+}
+
+fn get_f64(v: &Value, k: &str) -> Result<f64, serde::Error> {
+    v.get(k)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| serde::Error::custom(format!("frame: missing f64 field `{k}`")))
+}
+
+fn get_str(v: &Value, k: &str) -> Result<String, serde::Error> {
+    v.get(k)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| serde::Error::custom(format!("frame: missing string field `{k}`")))
+}
+
+fn check_schema(v: &Value) -> Result<(), serde::Error> {
+    match get_u64(v, "v")? {
+        SCHEMA => Ok(()),
+        other => Err(serde::Error::custom(format!("frame: unsupported schema v{other}"))),
+    }
+}
+
+impl ClientFrame {
+    /// The request id this frame carries.
+    pub fn id(&self) -> u64 {
+        match *self {
+            ClientFrame::Hello { id }
+            | ClientFrame::Submit { id, .. }
+            | ClientFrame::Subscribe { id, .. }
+            | ClientFrame::Status { id, .. }
+            | ClientFrame::Cancel { id, .. }
+            | ClientFrame::Metrics { id }
+            | ClientFrame::Shutdown { id } => id,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("frame serialization")
+    }
+
+    /// Parse one wire line.
+    pub fn parse(line: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+impl Serialize for ClientFrame {
+    fn to_json_value(&self) -> Value {
+        match self {
+            ClientFrame::Hello { id } => frame("hello", *id, vec![]),
+            ClientFrame::Submit { id, spec, trials } => frame(
+                "submit",
+                *id,
+                vec![("spec", spec.to_json_value()), ("trials", Value::U64(*trials))],
+            ),
+            ClientFrame::Subscribe { id, key } => {
+                frame("subscribe", *id, vec![("key", Value::Str(key.clone()))])
+            }
+            ClientFrame::Status { id, key } => {
+                frame("status", *id, vec![("key", Value::Str(key.clone()))])
+            }
+            ClientFrame::Cancel { id, key } => {
+                frame("cancel", *id, vec![("key", Value::Str(key.clone()))])
+            }
+            ClientFrame::Metrics { id } => frame("metrics", *id, vec![]),
+            ClientFrame::Shutdown { id } => frame("shutdown", *id, vec![]),
+        }
+    }
+}
+
+impl Deserialize for ClientFrame {
+    fn from_json_value(v: &Value) -> Result<Self, serde::Error> {
+        check_schema(v)?;
+        let id = get_u64(v, "id")?;
+        match get_str(v, "op")?.as_str() {
+            "hello" => Ok(ClientFrame::Hello { id }),
+            "submit" => {
+                let spec_value =
+                    v.get("spec").ok_or_else(|| serde::Error::custom("submit: missing `spec`"))?;
+                let spec = WorkSpec::from_json_value(spec_value)?;
+                let trials = get_u64(v, "trials")?;
+                if trials == 0 {
+                    return Err(serde::Error::custom("submit: `trials` must be ≥ 1"));
+                }
+                Ok(ClientFrame::Submit { id, spec, trials })
+            }
+            "subscribe" => Ok(ClientFrame::Subscribe { id, key: get_str(v, "key")? }),
+            "status" => Ok(ClientFrame::Status { id, key: get_str(v, "key")? }),
+            "cancel" => Ok(ClientFrame::Cancel { id, key: get_str(v, "key")? }),
+            "metrics" => Ok(ClientFrame::Metrics { id }),
+            "shutdown" => Ok(ClientFrame::Shutdown { id }),
+            other => Err(serde::Error::custom(format!("unknown client op `{other}`"))),
+        }
+    }
+}
+
+impl ServerFrame {
+    /// The request id this frame echoes.
+    pub fn id(&self) -> u64 {
+        match *self {
+            ServerFrame::Hello { id, .. }
+            | ServerFrame::Accepted { id, .. }
+            | ServerFrame::Rejected { id, .. }
+            | ServerFrame::Progress { id, .. }
+            | ServerFrame::Result { id, .. }
+            | ServerFrame::Cancelled { id, .. }
+            | ServerFrame::Failed { id, .. }
+            | ServerFrame::Status { id, .. }
+            | ServerFrame::Metrics { id, .. }
+            | ServerFrame::ShuttingDown { id }
+            | ServerFrame::Error { id, .. } => id,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("frame serialization")
+    }
+
+    /// Parse one wire line.
+    pub fn parse(line: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+impl Serialize for ServerFrame {
+    fn to_json_value(&self) -> Value {
+        match self {
+            ServerFrame::Hello { id, proto, workers, max_queue, client_share } => frame(
+                "hello",
+                *id,
+                vec![
+                    ("proto", Value::Str(proto.clone())),
+                    ("workers", Value::U64(*workers)),
+                    ("max_queue", Value::U64(*max_queue)),
+                    ("client_share", Value::U64(*client_share)),
+                ],
+            ),
+            ServerFrame::Accepted { id, key, trials, dedup, queue_depth } => frame(
+                "accepted",
+                *id,
+                vec![
+                    ("key", Value::Str(key.clone())),
+                    ("trials", Value::U64(*trials)),
+                    ("dedup", Value::Bool(*dedup)),
+                    ("queue_depth", Value::U64(*queue_depth)),
+                ],
+            ),
+            ServerFrame::Rejected { id, reason, retry_after_ms } => frame(
+                "rejected",
+                *id,
+                vec![
+                    ("reason", Value::Str(reason.clone())),
+                    ("retry_after_ms", Value::U64(*retry_after_ms)),
+                ],
+            ),
+            ServerFrame::Progress {
+                id,
+                key,
+                done_trials,
+                total_trials,
+                slots,
+                trials_per_sec,
+                eta_secs,
+            } => frame(
+                "progress",
+                *id,
+                vec![
+                    ("key", Value::Str(key.clone())),
+                    ("done_trials", Value::U64(*done_trials)),
+                    ("total_trials", Value::U64(*total_trials)),
+                    ("slots", Value::U64(*slots)),
+                    ("trials_per_sec", Value::F64(*trials_per_sec)),
+                    ("eta_secs", Value::F64(*eta_secs)),
+                ],
+            ),
+            ServerFrame::Result {
+                id,
+                key,
+                trials,
+                executed_trials,
+                cached_trials,
+                wall_secs,
+                results,
+            } => frame(
+                "result",
+                *id,
+                vec![
+                    ("key", Value::Str(key.clone())),
+                    ("trials", Value::U64(*trials)),
+                    ("executed_trials", Value::U64(*executed_trials)),
+                    ("cached_trials", Value::U64(*cached_trials)),
+                    ("wall_secs", Value::F64(*wall_secs)),
+                    ("results", results.as_ref().clone()),
+                ],
+            ),
+            ServerFrame::Cancelled { id, key, completed_trials } => frame(
+                "cancelled",
+                *id,
+                vec![
+                    ("key", Value::Str(key.clone())),
+                    ("completed_trials", Value::U64(*completed_trials)),
+                ],
+            ),
+            ServerFrame::Failed { id, key, reason } => frame(
+                "failed",
+                *id,
+                vec![("key", Value::Str(key.clone())), ("reason", Value::Str(reason.clone()))],
+            ),
+            ServerFrame::Status { id, key, state, done_trials, total_trials, subscribers } => {
+                frame(
+                    "status",
+                    *id,
+                    vec![
+                        ("key", Value::Str(key.clone())),
+                        ("state", Value::Str(state.clone())),
+                        ("done_trials", Value::U64(*done_trials)),
+                        ("total_trials", Value::U64(*total_trials)),
+                        ("subscribers", Value::U64(*subscribers)),
+                    ],
+                )
+            }
+            ServerFrame::Metrics { id, server, client } => {
+                frame("metrics", *id, vec![("server", server.clone()), ("client", client.clone())])
+            }
+            ServerFrame::ShuttingDown { id } => frame("shutting_down", *id, vec![]),
+            ServerFrame::Error { id, reason } => {
+                frame("error", *id, vec![("reason", Value::Str(reason.clone()))])
+            }
+        }
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn from_json_value(v: &Value) -> Result<Self, serde::Error> {
+        check_schema(v)?;
+        let id = get_u64(v, "id")?;
+        match get_str(v, "op")?.as_str() {
+            "hello" => Ok(ServerFrame::Hello {
+                id,
+                proto: get_str(v, "proto")?,
+                workers: get_u64(v, "workers")?,
+                max_queue: get_u64(v, "max_queue")?,
+                client_share: get_u64(v, "client_share")?,
+            }),
+            "accepted" => Ok(ServerFrame::Accepted {
+                id,
+                key: get_str(v, "key")?,
+                trials: get_u64(v, "trials")?,
+                dedup: v
+                    .get("dedup")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| serde::Error::custom("accepted: missing bool `dedup`"))?,
+                queue_depth: get_u64(v, "queue_depth")?,
+            }),
+            "rejected" => Ok(ServerFrame::Rejected {
+                id,
+                reason: get_str(v, "reason")?,
+                retry_after_ms: get_u64(v, "retry_after_ms")?,
+            }),
+            "progress" => Ok(ServerFrame::Progress {
+                id,
+                key: get_str(v, "key")?,
+                done_trials: get_u64(v, "done_trials")?,
+                total_trials: get_u64(v, "total_trials")?,
+                slots: get_u64(v, "slots")?,
+                trials_per_sec: get_f64(v, "trials_per_sec")?,
+                eta_secs: get_f64(v, "eta_secs")?,
+            }),
+            "result" => Ok(ServerFrame::Result {
+                id,
+                key: get_str(v, "key")?,
+                trials: get_u64(v, "trials")?,
+                executed_trials: get_u64(v, "executed_trials")?,
+                cached_trials: get_u64(v, "cached_trials")?,
+                wall_secs: get_f64(v, "wall_secs")?,
+                results: Arc::new(
+                    v.get("results")
+                        .ok_or_else(|| serde::Error::custom("result: missing `results`"))?
+                        .clone(),
+                ),
+            }),
+            "cancelled" => Ok(ServerFrame::Cancelled {
+                id,
+                key: get_str(v, "key")?,
+                completed_trials: get_u64(v, "completed_trials")?,
+            }),
+            "failed" => Ok(ServerFrame::Failed {
+                id,
+                key: get_str(v, "key")?,
+                reason: get_str(v, "reason")?,
+            }),
+            "status" => Ok(ServerFrame::Status {
+                id,
+                key: get_str(v, "key")?,
+                state: get_str(v, "state")?,
+                done_trials: get_u64(v, "done_trials")?,
+                total_trials: get_u64(v, "total_trials")?,
+                subscribers: get_u64(v, "subscribers")?,
+            }),
+            "metrics" => Ok(ServerFrame::Metrics {
+                id,
+                server: v
+                    .get("server")
+                    .ok_or_else(|| serde::Error::custom("metrics: missing `server`"))?
+                    .clone(),
+                client: v
+                    .get("client")
+                    .ok_or_else(|| serde::Error::custom("metrics: missing `client`"))?
+                    .clone(),
+            }),
+            "shutting_down" => Ok(ServerFrame::ShuttingDown { id }),
+            "error" => Ok(ServerFrame::Error { id, reason: get_str(v, "reason")? }),
+            other => Err(serde::Error::custom(format!("unknown server op `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn spec() -> WorkSpec {
+        WorkSpec::new("e15", "lesk/n=64", json!({"n": 64u64, "eps": 0.5f64}), 42)
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = [
+            ClientFrame::Hello { id: 1 },
+            ClientFrame::Submit { id: 2, spec: spec(), trials: 8 },
+            ClientFrame::Subscribe { id: 3, key: "ab".repeat(32) },
+            ClientFrame::Status { id: 4, key: "cd".repeat(32) },
+            ClientFrame::Cancel { id: 5, key: "ef".repeat(32) },
+            ClientFrame::Metrics { id: 6 },
+            ClientFrame::Shutdown { id: 7 },
+        ];
+        for f in frames {
+            let line = f.to_line();
+            assert!(!line.contains('\n'), "one frame per line: {line}");
+            let back = ClientFrame::parse(&line).unwrap();
+            assert_eq!(f, back, "{line}");
+            assert_eq!(f.id(), back.id());
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::Hello {
+                id: 0,
+                proto: PROTOCOL_VERSION.into(),
+                workers: 4,
+                max_queue: 64,
+                client_share: 8,
+            },
+            ServerFrame::Accepted {
+                id: 1,
+                key: "k".into(),
+                trials: 8,
+                dedup: true,
+                queue_depth: 2,
+            },
+            ServerFrame::Rejected { id: 2, reason: "queue full".into(), retry_after_ms: 250 },
+            ServerFrame::Progress {
+                id: 3,
+                key: "k".into(),
+                done_trials: 16,
+                total_trials: 64,
+                slots: 12345,
+                trials_per_sec: 100.5,
+                eta_secs: 0.5,
+            },
+            ServerFrame::Result {
+                id: 4,
+                key: "k".into(),
+                trials: 2,
+                executed_trials: 2,
+                cached_trials: 0,
+                wall_secs: 0.25,
+                results: Arc::new(json!([json!({"slots": 10u64}), json!({"slots": 12u64})])),
+            },
+            ServerFrame::Cancelled { id: 5, key: "k".into(), completed_trials: 32 },
+            ServerFrame::Failed { id: 6, key: "k".into(), reason: "unsupported".into() },
+            ServerFrame::Status {
+                id: 7,
+                key: "k".into(),
+                state: "running".into(),
+                done_trials: 1,
+                total_trials: 8,
+                subscribers: 3,
+            },
+            ServerFrame::Metrics { id: 8, server: json!({"schema": 1u64}), client: json!({}) },
+            ServerFrame::ShuttingDown { id: 9 },
+            ServerFrame::Error { id: 10, reason: "bad frame".into() },
+        ];
+        for f in frames {
+            let line = f.to_line();
+            assert!(!line.contains('\n'), "one frame per line: {line}");
+            let back = ServerFrame::parse(&line).unwrap();
+            assert_eq!(f, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(ClientFrame::parse(r#"{"op":"hello","id":1}"#).is_err(), "missing v");
+        assert!(ClientFrame::parse(r#"{"v":2,"op":"hello","id":1}"#).is_err(), "wrong v");
+        assert!(ClientFrame::parse(r#"{"v":1,"op":"nope","id":1}"#).is_err(), "unknown op");
+        assert!(ClientFrame::parse("not json").is_err());
+        let no_trials = format!(
+            r#"{{"v":1,"op":"submit","id":1,"spec":{},"trials":0}}"#,
+            serde_json::to_string(&spec().to_value()).unwrap()
+        );
+        assert!(ClientFrame::parse(&no_trials).is_err(), "zero trials");
+    }
+
+    #[test]
+    fn submitted_spec_survives_the_wire_exactly() {
+        // The fingerprint of the spec a client submits must equal the
+        // fingerprint the server computes after parsing — otherwise
+        // client and server would cache the same work under different
+        // keys.
+        use jle_orchestrator::{Fingerprint, DEFAULT_CODE_SALT};
+        let f = ClientFrame::Submit { id: 1, spec: spec(), trials: 4 };
+        let back = ClientFrame::parse(&f.to_line()).unwrap();
+        let ClientFrame::Submit { spec: parsed, .. } = back else { panic!("wrong op") };
+        let a = Fingerprint::of(&spec(), DEFAULT_CODE_SALT, "ty");
+        let b = Fingerprint::of(&parsed, DEFAULT_CODE_SALT, "ty");
+        assert_eq!(a, b);
+    }
+}

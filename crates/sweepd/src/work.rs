@@ -1,0 +1,226 @@
+//! Server-side work-kind registry: parameter tree → trial closure.
+//!
+//! A submitted [`jle_orchestrator::WorkSpec`] carries only data; the
+//! closure that actually runs a trial must be reconstructed here from
+//! `spec.params`. The contract with the cache is absolute — the
+//! reconstructed closure must be **bit-identical in behaviour** to the
+//! one the bench CLIs run locally for the same tree, because both sides
+//! address the same [`jle_orchestrator::ResultStore`] entries.
+//!
+//! That is why parsing is deliberately strict: a parameter tree with an
+//! unknown key (e.g. an experiment's private warm-start knob riding in
+//! `proto`) is rejected as [`WorkError::Unsupported`] instead of being
+//! ignored. Ignoring it would compute *something* under a fingerprint
+//! that promises something else — silent cache poisoning. Clients fall
+//! back to local computation for unsupported trees.
+
+use jle_adversary::AdversarySpec;
+use jle_engine::{run_cohort, RunReport, SimConfig};
+use jle_protocols::{BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol};
+use jle_radio::CdModel;
+use serde::{Deserialize, Value};
+
+/// A reconstructed per-trial closure: seed → report.
+pub type TrialFn = Box<dyn Fn(u64) -> RunReport + Send + Sync>;
+
+/// Why a parameter tree could not be turned into runnable work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkError {
+    /// The tree is well-formed but names work this server cannot
+    /// faithfully reconstruct (unknown kind, unknown protocol, or an
+    /// unrecognized key that may change behaviour). Clients should
+    /// compute locally.
+    Unsupported(String),
+    /// The tree is malformed (missing/ill-typed required fields).
+    Invalid(String),
+}
+
+impl std::fmt::Display for WorkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkError::Unsupported(msg) => write!(f, "unsupported work: {msg}"),
+            WorkError::Invalid(msg) => write!(f, "invalid work: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkError {}
+
+fn keys_of(v: &Value) -> Vec<&str> {
+    v.as_map().map(|m| m.iter().map(|(k, _)| k.as_str()).collect()).unwrap_or_default()
+}
+
+fn check_keys(v: &Value, what: &str, allowed: &[&str]) -> Result<(), WorkError> {
+    for k in keys_of(v) {
+        if !allowed.contains(&k) {
+            return Err(WorkError::Unsupported(format!(
+                "{what}: unrecognized key `{k}` (server cannot guarantee faithful reconstruction)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn req_u64(v: &Value, k: &str, what: &str) -> Result<u64, WorkError> {
+    v.get(k)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WorkError::Invalid(format!("{what}: missing u64 `{k}`")))
+}
+
+fn req_f64(v: &Value, k: &str, what: &str) -> Result<f64, WorkError> {
+    v.get(k)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| WorkError::Invalid(format!("{what}: missing f64 `{k}`")))
+}
+
+/// Turn a submitted parameter tree into a runnable trial closure.
+///
+/// Supported: `kind == "cohort_election"` trees as produced by
+/// `jle_bench::election_params` — fields `n`, `cd`, `adv`, `max_slots`,
+/// and a `proto` subtree naming one of the uniform cohort protocols:
+///
+/// * `{"proto": "lesk", "eps": ε}` — [`LeskProtocol::new`]
+/// * `{"proto": "lesu"}` — [`LesuProtocol::new`]
+/// * `{"proto": "backoff"}` — [`BackoffProtocol::new`]
+/// * `{"proto": "willard"}` — [`WillardProtocol::new`]
+///
+/// Any extra key anywhere in the tree is [`WorkError::Unsupported`].
+pub fn build_trial_fn(params: &Value) -> Result<TrialFn, WorkError> {
+    let kind = params
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WorkError::Invalid("params: missing string `kind`".into()))?;
+    if kind != "cohort_election" {
+        return Err(WorkError::Unsupported(format!("unknown work kind `{kind}`")));
+    }
+    check_keys(params, "cohort_election", &["kind", "n", "cd", "adv", "max_slots", "proto"])?;
+
+    let n = req_u64(params, "n", "cohort_election")?;
+    let max_slots = req_u64(params, "max_slots", "cohort_election")?;
+    let cd_value = params
+        .get("cd")
+        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `cd`".into()))?;
+    let cd = CdModel::from_json_value(cd_value)
+        .map_err(|e| WorkError::Invalid(format!("cohort_election: bad `cd`: {e}")))?;
+    let adv_value = params
+        .get("adv")
+        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `adv`".into()))?;
+    let adv = AdversarySpec::from_json_value(adv_value)
+        .map_err(|e| WorkError::Invalid(format!("cohort_election: bad `adv`: {e}")))?;
+    let proto = params
+        .get("proto")
+        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `proto`".into()))?;
+    let name = proto
+        .get("proto")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WorkError::Invalid("proto: missing string `proto`".into()))?;
+
+    let config = move |seed: u64| SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
+    match name {
+        "lesk" => {
+            check_keys(proto, "proto:lesk", &["proto", "eps"])?;
+            let eps = req_f64(proto, "eps", "proto:lesk")?;
+            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, || LeskProtocol::new(eps))))
+        }
+        "lesu" => {
+            check_keys(proto, "proto:lesu", &["proto"])?;
+            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, LesuProtocol::new)))
+        }
+        "backoff" => {
+            check_keys(proto, "proto:backoff", &["proto"])?;
+            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, BackoffProtocol::new)))
+        }
+        "willard" => {
+            check_keys(proto, "proto:willard", &["proto"])?;
+            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, WillardProtocol::new)))
+        }
+        other => Err(WorkError::Unsupported(format!("unknown cohort protocol `{other}`"))),
+    }
+}
+
+/// Whether a parameter tree names work this server type can execute —
+/// the client-side routing predicate behind the bench CLIs' `--server`
+/// mode (supported trees go to the service, the rest run locally).
+pub fn is_supported(params: &Value) -> bool {
+    build_trial_fn(params).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use serde_json::json;
+
+    fn params(proto: Value) -> Value {
+        json!({
+            "kind": "cohort_election",
+            "n": 32u64,
+            "cd": CdModel::Strong.to_json_value(),
+            "adv": AdversarySpec::passive().to_json_value(),
+            "max_slots": 100_000u64,
+            "proto": proto,
+        })
+    }
+
+    #[test]
+    fn reconstructed_closure_matches_direct_run_bit_for_bit() {
+        let f = build_trial_fn(&params(json!({"proto": "lesk", "eps": 0.5f64}))).unwrap();
+        for seed in [1u64, 7, 99] {
+            let direct = run_cohort(
+                &SimConfig::new(32, CdModel::Strong).with_seed(seed).with_max_slots(100_000),
+                &AdversarySpec::passive(),
+                || LeskProtocol::new(0.5),
+            );
+            assert_eq!(
+                serde_json::to_string(&f(seed)).unwrap(),
+                serde_json::to_string(&direct).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_uniform_protocols_are_supported() {
+        for proto in [
+            json!({"proto": "lesk", "eps": 0.3f64}),
+            json!({"proto": "lesu"}),
+            json!({"proto": "backoff"}),
+            json!({"proto": "willard"}),
+        ] {
+            let p = params(proto.clone());
+            assert!(is_supported(&p), "{proto:?}");
+            let f = build_trial_fn(&p).unwrap();
+            let report = f(5);
+            assert!(report.slots > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_unsupported_not_ignored() {
+        // A warm-start knob the server does not know must not be
+        // silently dropped — that would poison the shared cache.
+        let p = params(json!({"proto": "lesk", "eps": 0.5f64, "u0": 6u64}));
+        assert!(matches!(build_trial_fn(&p), Err(WorkError::Unsupported(_))));
+        let mut top = params(json!({"proto": "lesu"}));
+        if let Value::Map(m) = &mut top {
+            m.push(("faults".into(), json!({"crash": 1u64})));
+        }
+        assert!(matches!(build_trial_fn(&top), Err(WorkError::Unsupported(_))));
+    }
+
+    #[test]
+    fn malformed_trees_are_invalid() {
+        assert!(matches!(
+            build_trial_fn(&json!({"kind": "cohort_election"})),
+            Err(WorkError::Invalid(_))
+        ));
+        assert!(matches!(
+            build_trial_fn(&json!({"kind": "estimation"})),
+            Err(WorkError::Unsupported(_))
+        ));
+        assert!(matches!(
+            build_trial_fn(&params(json!({"proto": "arss"}))),
+            Err(WorkError::Unsupported(_))
+        ));
+    }
+}
