@@ -27,10 +27,10 @@
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
     run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan, FaultPlan,
-    FaultyStations, LeaderLedger, PerStation, Protocol, SimArena, SimConfig, SimCore,
-    SplitBrainObserver, UniformProtocol,
+    FaultyStations, LeaderLedger, MultihopStations, PerStation, Protocol, SimArena, SimConfig,
+    SimCore, SplitBrainObserver, StdMesh, UniformProtocol,
 };
-use jle_radio::{CdModel, ChannelState, Observation};
+use jle_radio::{CdModel, ChannelState, Observation, Topology};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -76,6 +76,56 @@ impl Protocol for DutySleeper {
 
 fn sat() -> AdversarySpec {
     AdversarySpec::new(Rate::from_f64(0.5), 64, JamStrategyKind::Saturating)
+}
+
+/// The 64-cluster unit-disk workload for the `multihop_throughput` arms:
+/// 4096 stations at unit-square positions, partitioned into an 8×8 grid
+/// of cells; two stations interfere when they share a cell and are within
+/// disk radius (half the cell side). That yields ≥64 interference
+/// components of ~64 stations each — the shape per-component sharding is
+/// built for — with the grid cell as the cluster assignment.
+fn multihop_workload() -> (Topology, Vec<u32>) {
+    const N: u64 = 4096;
+    const GRID: u32 = 8;
+    let positions = jle_radio::unit_disk_positions(N, 7);
+    let cell = |&(x, y): &(f64, f64)| {
+        let cx = ((x * f64::from(GRID)) as u32).min(GRID - 1);
+        let cy = ((y * f64::from(GRID)) as u32).min(GRID - 1);
+        cy * GRID + cx
+    };
+    let clusters: Vec<u32> = positions.iter().map(cell).collect();
+    let r = 0.5 / f64::from(GRID);
+    let mut edges = Vec::new();
+    for i in 0..N as usize {
+        for j in (i + 1)..N as usize {
+            if clusters[i] == clusters[j] {
+                let (dx, dy) = (positions[i].0 - positions[j].0, positions[i].1 - positions[j].1);
+                if dx * dx + dy * dy <= r * r {
+                    edges.push((i as u64, j as u64));
+                }
+            }
+        }
+    }
+    let topo = Topology::explicit(N, &edges).expect("grid-cell disk graph");
+    (topo, clusters)
+}
+
+/// One `multihop_throughput` arm: the 64-cluster unit-disk workload under
+/// a saturating jammer, never resolving, with the sharding threshold
+/// forced (`usize::MAX` keeps the slot loop serial, `1` forces
+/// per-component sharding on).
+fn multihop_arm(par_threshold: usize) -> Box<dyn FnMut()> {
+    let (topo, clusters) = multihop_workload();
+    Box::new(move || {
+        let adv = sat();
+        let config = SimConfig::new(4096, CdModel::Strong).with_seed(7).with_max_slots(128);
+        let mut stations = MultihopStations::new(&config, &topo, |_| {
+            Box::new(StdMesh::new(Box::new(PerStation::new(AlwaysCollide))))
+        })
+        .with_clusters(&clusters)
+        .with_parallel_threshold(par_threshold);
+        black_box(SimCore::new(&config, &adv).run(&mut stations));
+    })
 }
 
 /// One measured arm: the Criterion group/arm it mirrors, the per-sample
@@ -163,6 +213,24 @@ fn arms() -> Vec<Arm> {
                 });
                 black_box(SimCore::new(&config, &adv).observe(&mut split).run(&mut stations));
             }),
+        },
+        // Paired A/B arms for the multi-hop per-neighborhood backend:
+        // one 64-cluster unit-disk workload (4096 stations, mean degree
+        // ~32, never-resolving), run once with sharding disabled
+        // (threshold above the population) and once with per-component
+        // rayon sharding forced on. Both arms record against BENCH.json;
+        // the pair also makes parallel speedup visible in the printout.
+        Arm {
+            group: "multihop_throughput",
+            name: "serial/4096x64",
+            iters: 3,
+            run: multihop_arm(usize::MAX),
+        },
+        Arm {
+            group: "multihop_throughput",
+            name: "sharded/4096x64",
+            iters: 3,
+            run: multihop_arm(1),
         },
         Arm {
             group: "fast_exact",

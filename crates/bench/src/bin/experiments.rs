@@ -239,6 +239,7 @@ fn main() {
                 "e23" => "duty-cycled LESK: energy vs latency (extension, ref [13])",
                 "e24" => "fault injection + restart supervision (beyond the model)",
                 "e25" => "open-world elections: churn, leases, split brain (beyond the model)",
+                "e26" => "multi-hop cluster elections: topology x jamming (beyond the model)",
                 _ => "",
             };
             eprintln!("  {id:<4} {title}");

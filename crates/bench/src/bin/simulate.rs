@@ -13,14 +13,15 @@ use std::sync::Arc;
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_exact, run_exact_churn, ChurnPlan, FaultPlan, FaultyStations, LeaderLedger,
-    MonteCarlo, PerStation, Protocol, RunReport, SimConfig, SimCore, SplitBrainObserver, StopRule,
+    run_cohort, run_exact, run_exact_churn, run_multihop, run_multihop_std, ChurnPlan, FaultPlan,
+    FaultyStations, LeaderLedger, MonteCarlo, PerStation, Protocol, RngDiscipline, RunReport,
+    SimConfig, SimCore, SplitBrainObserver, StopRule,
 };
 use jle_protocols::{
-    lewk, lewu, ArssMacProtocol, BackoffProtocol, LeaseConfig, LeaseProtocol, LeskProtocol,
-    LesuProtocol, WillardProtocol,
+    lewk, lewu, ArssMacProtocol, BackoffProtocol, ClusterElection, LeaseConfig, LeaseProtocol,
+    LeskProtocol, LesuProtocol, WillardProtocol,
 };
-use jle_radio::CdModel;
+use jle_radio::{CdModel, Topology};
 use serde::Serialize;
 use serde_json::json;
 
@@ -55,6 +56,71 @@ struct Args {
     /// (`tcp:HOST:PORT` or `unix:PATH`). Only plain cohort elections
     /// (no churn, lease, or noise) can be served remotely.
     server: Option<String>,
+    /// Interference topology (`--topology`): `complete` (the paper's
+    /// single shared channel, the default) or a graph spec —
+    /// `dense-linear:K,M`, `core-tail:C,T`, `unit-disk:N,R,SEED`. Graph
+    /// runs go through the per-neighborhood multi-hop engine and set
+    /// `--n` from the topology.
+    topology: String,
+}
+
+/// A parsed `--topology` value: `None` for the single-channel default,
+/// otherwise the interference graph plus the cluster assignment its
+/// constructor implies (unit disks have no canonical clustering — the
+/// cluster protocol treats every node as a singleton cluster there).
+type ParsedTopology = Option<(Topology, Option<Vec<u32>>)>;
+
+fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
+    if spec == "complete" {
+        return Ok(None);
+    }
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--topology: expected KIND:ARGS, got `{spec}`"))?;
+    let nums: Vec<&str> = rest.split(',').collect();
+    let int = |s: &str, what: &str| -> Result<u64, String> {
+        s.trim().parse::<u64>().map_err(|e| format!("--topology {kind}: {what}: {e}"))
+    };
+    match kind {
+        "dense-linear" => {
+            if nums.len() != 2 {
+                return Err("--topology dense-linear:K,M takes two integers".into());
+            }
+            let (k, m) = (int(nums[0], "K")?, int(nums[1], "M")?);
+            if k == 0 || m == 0 || k > 4_096 || m > 4_096 {
+                return Err("--topology dense-linear: K and M must be in 1..=4096".into());
+            }
+            let (topo, clusters) = Topology::dense_linear(k as u32, m as u32);
+            Ok(Some((topo, Some(clusters))))
+        }
+        "core-tail" => {
+            if nums.len() != 2 {
+                return Err("--topology core-tail:C,T takes two integers".into());
+            }
+            let (c, t) = (int(nums[0], "C")?, int(nums[1], "T")?);
+            if c == 0 || c > 4_096 || t > 4_096 {
+                return Err("--topology core-tail: C must be in 1..=4096, T in 0..=4096".into());
+            }
+            let (topo, clusters) = Topology::core_tail(c as u32, t as u32);
+            Ok(Some((topo, Some(clusters))))
+        }
+        "unit-disk" => {
+            if nums.len() != 3 {
+                return Err("--topology unit-disk:N,R,SEED takes three values".into());
+            }
+            let n = int(nums[0], "N")?;
+            let r: f64 =
+                nums[1].trim().parse().map_err(|e| format!("--topology unit-disk: R: {e}"))?;
+            let seed = int(nums[2], "SEED")?;
+            let topo = Topology::unit_disk(n, r, seed)
+                .map_err(|e| format!("--topology unit-disk: {e}"))?;
+            Ok(Some((topo, None)))
+        }
+        other => Err(format!(
+            "unknown topology kind `{other}` (expected complete, dense-linear, core-tail, \
+             or unit-disk)"
+        )),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
         lease_miss_tolerance: 10,
         lease_timeout: 512,
         server: None,
+        topology: "complete".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -140,6 +207,7 @@ fn parse_args() -> Result<Args, String> {
                 args.lease_timeout = val.parse().map_err(|e| format!("--lease-timeout: {e}"))?
             }
             "--server" => args.server = Some(val.clone()),
+            "--topology" => args.topology = val.clone(),
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 2;
@@ -276,7 +344,79 @@ fn run_on_server(args: &Args, adv: &AdversarySpec, ep: &str) -> Result<Vec<RunRe
     client.run_reports(&spec, args.trials.max(1)).map_err(|e| format!("sweepd {point}: {e}"))
 }
 
-fn run_one(args: &Args, adv: &AdversarySpec, seed: u64) -> Result<RunReport, String> {
+/// Graph-topology run: route through the per-neighborhood multi-hop
+/// engine. Closed-world only — churn, lease, noise, and the sweepd
+/// service are single-channel features.
+fn run_graph(
+    args: &Args,
+    adv: &AdversarySpec,
+    seed: u64,
+    topo: &Topology,
+    clusters: &Option<Vec<u32>>,
+) -> Result<RunReport, String> {
+    if args.wants_churn() || args.lease_beacon.is_some() || args.noise != 0.0 {
+        return Err("--topology graphs are closed-world: no churn, lease, or noise flags".into());
+    }
+    let config = SimConfig::new(args.n, args.cd).with_seed(seed).with_max_slots(args.max_slots);
+    let eps = args.eps;
+    Ok(match args.protocol.as_str() {
+        "cluster" => {
+            // Cluster elections converge when *everyone* has powered
+            // down; unit disks carry no canonical clustering, so every
+            // node elects (and floods) as its own singleton cluster.
+            let assign: Vec<u32> = clusters.clone().unwrap_or_else(|| (0..args.n as u32).collect());
+            run_multihop(
+                &config.with_stop(StopRule::AllTerminated),
+                adv,
+                topo,
+                Some(&assign),
+                |i| Box::new(ClusterElection::for_assignment(i, &assign, eps)),
+            )
+        }
+        "lesk" => run_multihop_std(&config, adv, topo, RngDiscipline::Shared, move |_| {
+            Box::new(PerStation::new(LeskProtocol::new(eps)))
+        }),
+        "lesu" => run_multihop_std(&config, adv, topo, RngDiscipline::Shared, |_| {
+            Box::new(PerStation::new(LesuProtocol::new()))
+        }),
+        "backoff" => run_multihop_std(&config, adv, topo, RngDiscipline::Shared, |_| {
+            Box::new(PerStation::new(BackoffProtocol::new()))
+        }),
+        "lewk" => run_multihop_std(
+            &config.with_stop(StopRule::AllTerminated),
+            adv,
+            topo,
+            RngDiscipline::Shared,
+            move |_| Box::new(lewk(eps)),
+        ),
+        "lewu" => run_multihop_std(
+            &config.with_stop(StopRule::AllTerminated),
+            adv,
+            topo,
+            RngDiscipline::Shared,
+            |_| Box::new(lewu()),
+        ),
+        other => {
+            return Err(format!(
+                "graph topologies support --protocol cluster|lesk|lesu|backoff|lewk|lewu, \
+                 not {other}"
+            ))
+        }
+    })
+}
+
+fn run_one(
+    args: &Args,
+    adv: &AdversarySpec,
+    seed: u64,
+    topology: &ParsedTopology,
+) -> Result<RunReport, String> {
+    if let Some((topo, clusters)) = topology {
+        return run_graph(args, adv, seed, topo, clusters);
+    }
+    if args.protocol == "cluster" {
+        return Err("--protocol cluster needs a graph --topology (it elects per cluster)".into());
+    }
     if let Some(beacon) = args.lease_beacon {
         return run_lease(args, adv, seed, beacon);
     }
@@ -341,7 +481,8 @@ fn main() {
                  [--churn-seed S] [--churn-join-prob F] [--churn-join-window W] \
                  [--churn-leave-prob F] [--churn-leave-window W] [--churn-rejoin-after D] \
                  [--lease-beacon B] [--lease-miss-tolerance K] [--lease-timeout L] \
-                 [--server tcp:HOST:PORT|unix:PATH]"
+                 [--server tcp:HOST:PORT|unix:PATH] \
+                 [--topology complete|dense-linear:K,M|core-tail:C,T|unit-disk:N,R,SEED]"
             );
             std::process::exit(2);
         }
@@ -353,6 +494,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let topology = match parse_topology(&args.topology) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut args = args;
+    if let Some((topo, _)) = &topology {
+        // The graph fixes the population; `--n` is single-channel-only.
+        args.n = topo.graph().map(|g| u64::from(g.n())).unwrap_or(args.n);
+        if args.server.is_some() {
+            eprintln!("error: --server runs are single-channel; drop --topology");
+            std::process::exit(2);
+        }
+    }
+    let args = args;
 
     let server_reports: Option<Vec<RunReport>> = match &args.server {
         Some(ep) => match run_on_server(&args, &adv, ep) {
@@ -368,7 +526,7 @@ fn main() {
     if args.trials <= 1 {
         let one = match &server_reports {
             Some(reports) => Ok(reports[0].clone()),
-            None => run_one(&args, &adv, args.seed),
+            None => run_one(&args, &adv, args.seed, &topology),
         };
         match one {
             Ok(r) => println!(
@@ -380,6 +538,7 @@ fn main() {
                         "seed": args.seed, "noise": args.noise,
                         "churn": args.wants_churn(),
                         "lease_beacon": args.lease_beacon,
+                        "topology": args.topology,
                     },
                     "slots": r.slots,
                     "outcome": r.outcome().label(),
@@ -395,6 +554,18 @@ fn main() {
                         "longest_split": r.split_brain.longest_split,
                         "max_believers": r.split_brain.max_believers,
                         "reelections": r.split_brain.reelections,
+                    })),
+                    "multihop": r.multihop.as_ref().map(|m| json!({
+                        "topology": m.topology,
+                        "components": m.components,
+                        "clusters": m.clusters.iter().map(|c| json!({
+                            "cluster": c.cluster, "size": c.size,
+                            "resolved_at": c.resolved_at, "leader": c.leader,
+                        })).collect::<Vec<_>>(),
+                        "all_clusters_resolved": m.all_clusters_resolved(),
+                        "converged_at": m.converged_at,
+                        "network_leader": m.network_leader,
+                        "cross_cluster_interference": m.cross_cluster_interference,
                     })),
                     "jam_fraction": r.jam_fraction(),
                     "noise_slots": r.noise_slots,
@@ -420,7 +591,8 @@ fn main() {
 
     let reports: Vec<Result<RunReport, String>> = match server_reports {
         Some(reports) => reports.into_iter().map(Ok).collect(),
-        None => MonteCarlo::new(args.trials, args.seed).run(|seed| run_one(&args, &adv, seed)),
+        None => MonteCarlo::new(args.trials, args.seed)
+            .run(|seed| run_one(&args, &adv, seed, &topology)),
     };
     let mut slots = Vec::new();
     let mut successes = 0u64;

@@ -32,13 +32,14 @@ pub mod e22_noise;
 pub mod e23_duty_cycle;
 pub mod e24_faults;
 pub mod e25_churn;
+pub mod e26_topology;
 
 use crate::common::{ExpContext, ExperimentResult};
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -69,6 +70,7 @@ pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<ExperimentResult> {
         "e23" => e23_duty_cycle::run(ctx),
         "e24" => e24_faults::run(ctx),
         "e25" => e25_churn::run(ctx),
+        "e26" => e26_topology::run(ctx),
         _ => return None,
     })
 }

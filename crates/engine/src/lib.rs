@@ -7,7 +7,7 @@
 //! observations filtered by the collision-detection model, and jammed
 //! slots are indistinguishable from collisions.
 //!
-//! ## Architecture: one loop, four backends
+//! ## Architecture: one loop, five backends
 //!
 //! The slot loop is written exactly once, in [`SimCore`] (see
 //! `DESIGN.md` §10). What varies between simulators is *who the stations
@@ -31,6 +31,14 @@
 //!   the [`faults`] subsystem layered on: station crashes, staggered
 //!   wakeups, deafness, and sensing errors, with failures classified by
 //!   the [`Outcome`] degradation taxonomy.
+//! * [`MultihopStations`] / [`run_multihop`] — per-*neighborhood* slot
+//!   resolution over an interference [`Topology`](jle_radio::Topology)
+//!   (complete / unit-disk / explicit), with message delivery on clean
+//!   local `Single`s, per-component rayon sharding, and cluster-election
+//!   tracking ([`MultihopReport`]). On `Topology::Complete` it is
+//!   bit-identical to [`ExactStations`] (`Shared` discipline) and
+//!   [`FastExactStations`] (`Counter` discipline) — single-hop is just
+//!   the complete-graph special case (see `DESIGN.md` §15).
 //!
 //! Instrumentation (energy accounting, trace recording, live throughput)
 //! attaches as composable [`SlotObserver`] layers rather than being inlined
@@ -52,6 +60,7 @@ pub mod exact;
 pub mod fast;
 pub mod faults;
 pub mod leadership;
+pub mod multihop;
 pub mod observer;
 pub mod protocol;
 pub mod report;
@@ -72,9 +81,15 @@ pub use fast::{
 };
 pub use faults::{run_exact_faulty, FaultPlan, FaultyStation, FaultyStations, StationFaults};
 pub use leadership::{LeaderLedger, SplitBrainObserver, SplitInterval};
+pub use multihop::{
+    run_multihop, run_multihop_std, run_multihop_with, MeshMessage, MeshProtocol, MeshStatus,
+    MultihopStations, RngDiscipline, StdMesh,
+};
 pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserver};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
-pub use report::{EnergyStats, Outcome, RunReport, SlotCost, SplitBrainStats};
+pub use report::{
+    ClusterOutcome, EnergyStats, MultihopReport, Outcome, RunReport, SlotCost, SplitBrainStats,
+};
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};
 pub use streams::{mix64, station_key, StationRng};
 pub use telemetry::{EngineMetrics, TelemetryObserver};

@@ -179,6 +179,60 @@ impl SplitBrainStats {
     }
 }
 
+/// Per-cluster election outcome of a multi-hop run (see
+/// [`crate::multihop`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Cluster index (from the run's cluster assignment).
+    pub cluster: u32,
+    /// Number of stations assigned to the cluster.
+    pub size: u64,
+    /// First slot at which every member of the cluster knew its cluster
+    /// leader, if that happened.
+    pub resolved_at: Option<u64>,
+    /// The station leading the cluster at the end of the run.
+    pub leader: Option<u64>,
+}
+
+/// Topology-aware accounting for multi-hop runs, deposited by
+/// [`crate::multihop::MultihopStations::finalize`]. Absent (`None` on
+/// [`RunReport::multihop`]) for single-channel runs — including
+/// complete-topology multi-hop runs without a cluster assignment, which
+/// are bit-identical to the single-channel engine and must serialize
+/// identically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultihopReport {
+    /// Canonical topology descriptor (`Topology::descriptor`).
+    pub topology: String,
+    /// Connected interference components in the topology.
+    pub components: u32,
+    /// Per-cluster resolution outcomes (empty when no cluster assignment
+    /// was provided).
+    pub clusters: Vec<ClusterOutcome>,
+    /// First slot from which *every* station reported the same network
+    /// leader through the end of the run.
+    pub converged_at: Option<u64>,
+    /// The network-wide leader every station agreed on, if converged.
+    pub network_leader: Option<u64>,
+    /// Node-slot events where a station's local channel read `Collision`
+    /// although its own cluster contributed at most one transmitter and
+    /// the slot was unjammed — collisions manufactured by *foreign*
+    /// clusters, the multi-hop analogue of jamming.
+    pub cross_cluster_interference: u64,
+}
+
+impl MultihopReport {
+    /// Whether every cluster resolved a leader.
+    pub fn all_clusters_resolved(&self) -> bool {
+        !self.clusters.is_empty() && self.clusters.iter().all(|c| c.resolved_at.is_some())
+    }
+
+    /// The slowest cluster's resolution slot, if all resolved.
+    pub fn last_cluster_resolution(&self) -> Option<u64> {
+        self.clusters.iter().map(|c| c.resolved_at).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+}
+
 /// The outcome of one simulated run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -213,6 +267,11 @@ pub struct RunReport {
     /// all-default otherwise.
     #[serde(default)]
     pub split_brain: SplitBrainStats,
+    /// Topology-aware accounting for multi-hop runs; `None` for
+    /// single-channel runs (and skipped from serialization so existing
+    /// fixtures and cached results are unaffected).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub multihop: Option<MultihopReport>,
     /// Channel statistics over the whole run (`counts.jammed` includes
     /// noise-corrupted slots — they are indistinguishable on the air).
     pub counts: StateCounts,

@@ -14,162 +14,16 @@
 //! an explanation in the commit): `UPDATE_GOLDEN=1 cargo test -p jle-engine
 //! --test golden_seed`.
 
-use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+mod common;
+
+use common::*;
+use jle_adversary::{AdversarySpec, Rate};
 use jle_engine::{
     run_cohort, run_cohort_against_oracle, run_exact, run_exact_churn, run_exact_faulty,
-    run_fast_exact, run_fast_exact_churn, run_fast_exact_faulty, Action, ChurnPlan, FaultPlan,
-    PerStation, Protocol, RunReport, SimConfig, StationChurn, StationFaults, Status, StopRule,
-    UniformProtocol,
+    run_fast_exact, run_fast_exact_churn, run_fast_exact_faulty, ChurnPlan, FaultPlan, PerStation,
+    SimConfig, StationChurn, StationFaults, StopRule,
 };
-use jle_radio::{CdModel, ChannelState, Observation};
-use rand::RngCore;
-use std::path::PathBuf;
-
-const MAX_SLOTS: u64 = 4_000;
-const SEED: u64 = 0xA11CE;
-
-/// Fixed-probability uniform protocol (memoryless).
-#[derive(Debug, Clone)]
-struct Fixed(f64);
-
-impl UniformProtocol for Fixed {
-    fn tx_prob(&mut self, _: u64) -> f64 {
-        self.0
-    }
-    fn on_state(&mut self, _: u64, _: ChannelState) {}
-}
-
-/// History-dependent backoff in the LESK mold: exercises `on_state` on
-/// every channel state, a non-trivial `estimate()` for trace recording,
-/// and probabilities that sweep through the binomial sampler's regimes.
-#[derive(Debug, Clone)]
-struct Backoff {
-    u: f64,
-}
-
-impl Backoff {
-    fn new() -> Self {
-        Backoff { u: 0.0 }
-    }
-}
-
-impl UniformProtocol for Backoff {
-    fn tx_prob(&mut self, _: u64) -> f64 {
-        2f64.powf(-self.u)
-    }
-    fn on_state(&mut self, _: u64, state: ChannelState) {
-        match state {
-            ChannelState::Null => self.u = (self.u - 1.0).max(0.0),
-            ChannelState::Collision => self.u += 0.5,
-            ChannelState::Single => {}
-        }
-    }
-    fn estimate(&self) -> Option<f64> {
-        Some(self.u)
-    }
-}
-
-/// Stops via `finished()` after a fixed number of observed slots.
-#[derive(Debug, Clone)]
-struct CountDown(u32);
-
-impl UniformProtocol for CountDown {
-    fn tx_prob(&mut self, _: u64) -> f64 {
-        0.0
-    }
-    fn on_state(&mut self, _: u64, _: ChannelState) {
-        self.0 -= 1;
-    }
-    fn finished(&self) -> bool {
-        self.0 == 0
-    }
-}
-
-/// FNV-1a (64-bit), the digest pinning trace content.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn push(&mut self, byte: u8) {
-        self.0 ^= byte as u64;
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    fn push_all(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.push(b);
-        }
-    }
-}
-
-/// Render report + trace digest as one canonical JSON line.
-fn snapshot(report: &RunReport) -> String {
-    let body = serde_json::to_string(report).expect("RunReport serializes");
-    let trace = match &report.trace {
-        None => "null".to_string(),
-        Some(t) => {
-            let mut h = Fnv::new();
-            for s in t.iter() {
-                let code = match s.state() {
-                    ChannelState::Null => 0u8,
-                    ChannelState::Single => 1,
-                    ChannelState::Collision => 2,
-                };
-                let b = code
-                    | (u8::from(s.jammed()) << 2)
-                    | (u8::from(s.clean_single()) << 3)
-                    | (u8::from(s.any_transmitter()) << 4);
-                h.push(b);
-            }
-            for &e in &t.estimates {
-                h.push_all(&e.to_bits().to_le_bytes());
-            }
-            format!(
-                "{{\"len\":{},\"estimates\":{},\"digest\":\"{:016x}\"}}",
-                t.len(),
-                t.estimates.len(),
-                h.0
-            )
-        }
-    };
-    format!("{{\"report\":{body},\"trace\":{trace}}}\n")
-}
-
-/// Compare against (or, under `UPDATE_GOLDEN=1`, rewrite) the fixture.
-fn check(name: &str, report: &RunReport) {
-    let actual = snapshot(report);
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden");
-    let path = dir.join(format!("{name}.json"));
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(&dir).expect("create golden dir");
-        std::fs::write(&path, actual).expect("write golden fixture");
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden fixture {path:?} ({e}); regenerate with UPDATE_GOLDEN=1")
-    });
-    assert_eq!(actual, expected, "golden-seed mismatch for `{name}`");
-}
-
-/// The budget-saturating jammer: deterministic given the budget.
-fn saturating() -> AdversarySpec {
-    AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Saturating)
-}
-
-/// Oblivious random jammer: draws from the adversary RNG every slot, so
-/// these fixtures also pin the adversary seed-stream separation.
-fn random_jammer() -> AdversarySpec {
-    AdversarySpec::new(Rate::from_f64(0.5), 16, JamStrategyKind::Random { prob: 0.7 })
-}
-
-fn exact_config(cd: CdModel) -> SimConfig {
-    SimConfig::new(12, cd).with_seed(SEED).with_max_slots(MAX_SLOTS).with_trace(true)
-}
-
-fn cohort_config(cd: CdModel) -> SimConfig {
-    SimConfig::new(64, cd).with_seed(SEED).with_max_slots(MAX_SLOTS).with_trace(true)
-}
+use jle_radio::CdModel;
 
 // ---------------------------------------------------------------- exact --
 
@@ -313,47 +167,6 @@ fn golden_faulty_nocd() {
 //
 // Regenerate only the fast fixtures (never the legacy ones in the same
 // sweep): `UPDATE_GOLDEN=1 cargo test -p jle-engine --test golden_seed fast_`.
-
-/// Duty-cycles a station: awake only in slots `≡ phase (mod period)`.
-/// Exercises the active-set loop's park/wake heap in a fixture — with
-/// period 4 over 12 stations the awake prefix shrinks to ~3 each slot.
-struct DutyBackoff {
-    inner: PerStation<Backoff>,
-    period: u64,
-    phase: u64,
-}
-
-impl DutyBackoff {
-    fn new(period: u64, phase: u64) -> Self {
-        DutyBackoff { inner: PerStation::new(Backoff::new()), period, phase: phase % period }
-    }
-}
-
-impl Protocol for DutyBackoff {
-    fn act(&mut self, slot: u64, rng: &mut dyn RngCore) -> Action {
-        if slot % self.period == self.phase {
-            self.inner.act(slot, rng)
-        } else {
-            Action::Sleep
-        }
-    }
-    fn feedback(&mut self, slot: u64, transmitted: bool, obs: Observation) {
-        self.inner.feedback(slot, transmitted, obs);
-    }
-    fn status(&self) -> Status {
-        self.inner.status()
-    }
-    fn finished(&self) -> bool {
-        self.inner.finished()
-    }
-    fn estimate(&self) -> Option<f64> {
-        self.inner.estimate()
-    }
-    fn wake_hint(&self, slot: u64) -> u64 {
-        let next = slot + 1;
-        next + (self.phase + self.period - next % self.period) % self.period
-    }
-}
 
 #[test]
 fn fast_exact_strong() {

@@ -1,0 +1,650 @@
+//! Cluster elections over multi-hop topologies: LESK per cluster plus an
+//! inter-cluster notification/merge layer.
+//!
+//! The paper elects one leader on one shared channel. On a multi-hop
+//! [`Topology`](jle_radio::Topology) partitioned into clusters, the same
+//! machinery runs *per cluster*, concurrently, over each node's local
+//! channel, and a second layer floods the claimed leaders' identities so
+//! the whole network converges on a single network-wide leader — the
+//! minimum station id among all cluster leaders.
+//!
+//! # The state machine
+//!
+//! Every station runs [`ClusterElection`], a [`MeshProtocol`] with three
+//! phases:
+//!
+//! * **Elect** — the paper's LESK walk ([`LeskProtocol`]), transmitting a
+//!   *candidate* message with probability `2^{-u}`. Foreign-cluster
+//!   singles and inter-cluster spread traffic count as `Collision` for
+//!   the walk: to this cluster's election, neighbors in other clusters
+//!   are just one more source of interference, exactly like jamming —
+//!   which is why the LESK drift argument still applies. Leadership is
+//!   claimed on the paper's evidence (strong CD: seeing one's *own*
+//!   `Single`), or on two weaker confirmations that work without
+//!   transmitter-side CD: hearing a message that **echoes** this
+//!   station's id (a neighbor names the last candidate it heard), or
+//!   hearing an announce that already names this station as its
+//!   cluster's leader (a neighbor adopted it first).
+//! * **Spread** — once the station knows its cluster's leader (claimed
+//!   it, or adopted a heard one), it transmits *announce* messages with
+//!   a constant probability, carrying `(cluster, leader, best)` where
+//!   `best` is the smallest cluster-leader id it has heard of. Announces
+//!   merge by minimum: concurrent claims within one cluster (possible on
+//!   multi-hop interference graphs, where two members can perceive
+//!   different clean singles) resolve to the smaller id, and the loser
+//!   abdicates. `best` floods across cluster borders through gateway
+//!   nodes, so every station's believed network leader converges to the
+//!   global minimum claimant, who is minimal in its own cluster and
+//!   therefore never abdicates.
+//! * **Done** — after [`quiet_target`](ClusterElection::with_quiet_target)
+//!   consecutive slots in which nothing improved, the station powers
+//!   down. Terminal status is [`Status::Leader`] iff the station's
+//!   believed network leader is itself.
+//!
+//! # Collision-detection models
+//!
+//! Strong CD claims directly; weak CD relies on echo/adoption (its
+//! transmitters only see [`Observation::TxAssumedCollision`]). Under
+//! no-CD, listeners cannot tell `Null` from `Collision`, which would
+//! break LESK's asymmetric walk (every quiet slot would push `u` up
+//! forever); the first [`Observation::NoCd`] observation therefore
+//! switches the elect phase to a fixed transmission probability, which
+//! elects small clusters reliably but has no jamming-resistance
+//! guarantee — consistent with the paper, whose no-CD results need
+//! different machinery (LESU / `Notification`). A station alone in its
+//! cluster ([`ClusterElection::alone`]) is its cluster's leader by
+//! definition and starts in **Spread** — with no same-cluster peer there
+//! is nobody to elect against, and under weak/no CD nobody to confirm a
+//! claim.
+//!
+//! Message payloads pack the fields into the engine's 64-bit payload
+//! word (21 bits per field), so station ids and cluster indices must be
+//! below [`FIELD_NONE`] (~2M); the per-station multi-hop backend is
+//! O(degree) per slot, so that bound is not the binding constraint.
+
+use crate::broadcast::tx_probability;
+use crate::lesk::LeskProtocol;
+use jle_engine::{Action, MeshMessage, MeshProtocol, MeshStatus, Status};
+use jle_radio::{ChannelState, Observation};
+use rand::{Rng, RngCore};
+
+/// Field width of the packed message fields (station id, cluster index,
+/// best-leader id): 3 fields + 1 tag bit = 64.
+pub const FIELD_BITS: u32 = 21;
+/// Sentinel for "no value" in a packed field; also the exclusive upper
+/// bound on station ids and cluster indices in cluster elections.
+pub const FIELD_NONE: u64 = (1 << FIELD_BITS) - 1;
+const FIELD_MASK: u64 = FIELD_NONE;
+const TAG_ANNOUNCE: u64 = 1 << 63;
+
+/// A decoded cluster-election message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterMessage {
+    /// Elect-phase transmission: "`I` am a candidate of `cluster`; the
+    /// last candidate I heard (any cluster) was `echo`."
+    Candidate {
+        /// Sender's cluster index.
+        cluster: u32,
+        /// Station id of the last candidate the sender heard, if any.
+        echo: Option<u64>,
+    },
+    /// Spread-phase transmission: "`leader` leads `cluster`; the smallest
+    /// cluster-leader id I know of is `best`."
+    Announce {
+        /// Sender's cluster index.
+        cluster: u32,
+        /// The sender's believed leader of its own cluster.
+        leader: u64,
+        /// The sender's believed network leader (minimum claimant id).
+        best: u64,
+    },
+}
+
+impl ClusterMessage {
+    /// Pack into the engine's 64-bit payload word.
+    pub fn encode(self) -> u64 {
+        let field = |v: u64| {
+            debug_assert!(v <= FIELD_NONE);
+            v & FIELD_MASK
+        };
+        match self {
+            ClusterMessage::Candidate { cluster, echo } => {
+                (field(cluster as u64) << (2 * FIELD_BITS))
+                    | (field(echo.unwrap_or(FIELD_NONE)) << FIELD_BITS)
+                    | FIELD_NONE
+            }
+            ClusterMessage::Announce { cluster, leader, best } => {
+                TAG_ANNOUNCE
+                    | (field(cluster as u64) << (2 * FIELD_BITS))
+                    | (field(leader) << FIELD_BITS)
+                    | field(best)
+            }
+        }
+    }
+
+    /// Inverse of [`ClusterMessage::encode`].
+    pub fn decode(payload: u64) -> Self {
+        let f1 = (payload >> (2 * FIELD_BITS)) & FIELD_MASK;
+        let f2 = (payload >> FIELD_BITS) & FIELD_MASK;
+        let f3 = payload & FIELD_MASK;
+        let opt = |v: u64| if v == FIELD_NONE { None } else { Some(v) };
+        if payload & TAG_ANNOUNCE == 0 {
+            ClusterMessage::Candidate { cluster: f1 as u32, echo: opt(f2) }
+        } else {
+            ClusterMessage::Announce { cluster: f1 as u32, leader: f2, best: f3 }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Elect,
+    Spread,
+    Done,
+}
+
+/// Per-station cluster-election protocol (see the module docs for the
+/// three-phase state machine).
+#[derive(Debug, Clone)]
+pub struct ClusterElection {
+    id: u64,
+    cluster: u32,
+    lesk: LeskProtocol,
+    phase: Phase,
+    /// Last heard candidate's station id (the echo field of our next
+    /// candidate message).
+    echo: Option<u64>,
+    /// Believed leader of our own cluster (min-merged).
+    cluster_leader: Option<u64>,
+    /// Whether *we* claim our cluster's leadership.
+    claimed: bool,
+    /// Believed network leader: smallest cluster-leader id heard of.
+    best: Option<u64>,
+    /// Consecutive Spread slots without improvement.
+    quiet: u64,
+    quiet_target: u64,
+    spread_p: f64,
+    /// Elect-phase transmission probability once a no-CD observation
+    /// reveals that LESK's walk cannot be driven (see module docs).
+    nocd_p: f64,
+    nocd: bool,
+}
+
+impl ClusterElection {
+    /// Default quiet horizon before a Spread station powers down.
+    pub const DEFAULT_QUIET_TARGET: u64 = 256;
+    /// Default Spread-phase transmission probability.
+    pub const DEFAULT_SPREAD_P: f64 = 0.25;
+    /// Default fixed elect probability in no-CD mode.
+    pub const DEFAULT_NOCD_P: f64 = 0.25;
+
+    /// Station `id` of cluster `cluster`, electing with LESK(ε).
+    ///
+    /// # Panics
+    /// Panics if `id` or `cluster` does not fit the packed message fields
+    /// (≥ [`FIELD_NONE`]), or if `eps ∉ (0, 1)` ([`LeskProtocol::new`]).
+    pub fn new(id: u64, cluster: u32, eps: f64) -> Self {
+        assert!(id < FIELD_NONE, "station id {id} does not fit the {FIELD_BITS}-bit message field");
+        assert!(
+            (cluster as u64) < FIELD_NONE,
+            "cluster index {cluster} does not fit the {FIELD_BITS}-bit message field"
+        );
+        ClusterElection {
+            id,
+            cluster,
+            lesk: LeskProtocol::new(eps),
+            phase: Phase::Elect,
+            echo: None,
+            cluster_leader: None,
+            claimed: false,
+            best: None,
+            quiet: 0,
+            quiet_target: Self::DEFAULT_QUIET_TARGET,
+            spread_p: Self::DEFAULT_SPREAD_P,
+            nocd_p: Self::DEFAULT_NOCD_P,
+            nocd: false,
+        }
+    }
+
+    /// Build every station of a run from a cluster assignment (station id
+    /// → cluster index), marking singleton clusters [`alone`](Self::alone).
+    /// This is the factory the experiments use.
+    pub fn for_assignment(id: u64, assign: &[u32], eps: f64) -> Self {
+        let cluster = assign[id as usize];
+        let size = assign.iter().filter(|&&c| c == cluster).count();
+        let p = ClusterElection::new(id, cluster, eps);
+        if size == 1 {
+            p.alone()
+        } else {
+            p
+        }
+    }
+
+    /// Mark this station as its cluster's only member: it is the cluster
+    /// leader by definition and starts in the Spread phase.
+    pub fn alone(mut self) -> Self {
+        self.claim();
+        self
+    }
+
+    /// Override the quiet horizon (default
+    /// [`ClusterElection::DEFAULT_QUIET_TARGET`]).
+    ///
+    /// The horizon must exceed the network's announce flood time (roughly
+    /// diameter × per-hop single delay), or a remote claimant can power
+    /// down before the global minimum reaches it and the network never
+    /// agrees. The default suits small-diameter scenarios; wide-chain
+    /// sweeps (E26's 64-cluster arms) raise it.
+    pub fn with_quiet_target(mut self, slots: u64) -> Self {
+        self.quiet_target = slots.max(1);
+        self
+    }
+
+    /// Override the Spread transmission probability (default
+    /// [`ClusterElection::DEFAULT_SPREAD_P`]).
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn with_spread_probability(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "spread probability must be in (0,1], got {p}");
+        self.spread_p = p;
+        self
+    }
+
+    /// Current LESK estimate (the elect phase's `u`).
+    pub fn u(&self) -> f64 {
+        self.lesk.u()
+    }
+
+    /// Fold a claimed leader id into the believed network leader.
+    fn fold_best(&mut self, leader: u64) -> bool {
+        match self.best {
+            Some(b) if b <= leader => false,
+            _ => {
+                self.best = Some(leader);
+                true
+            }
+        }
+    }
+
+    /// Claim our own cluster's leadership (paper evidence or echo /
+    /// adoption confirmation) and enter Spread.
+    fn claim(&mut self) {
+        self.cluster_leader = Some(self.id);
+        self.claimed = true;
+        self.fold_best(self.id);
+        self.phase = Phase::Spread;
+        self.quiet = 0;
+    }
+
+    /// Min-merge a learned leader of our own cluster. Returns whether
+    /// anything improved (for the quiet counter).
+    fn merge_leader(&mut self, leader: u64) -> bool {
+        let improved_best = self.fold_best(leader);
+        let adopted = match self.cluster_leader {
+            Some(l) if l <= leader => false,
+            _ => {
+                self.cluster_leader = Some(leader);
+                // Concurrent-claim repair: the larger claimant abdicates.
+                if self.claimed && leader != self.id {
+                    self.claimed = false;
+                }
+                true
+            }
+        };
+        // A neighbor adopted us before we could confirm ourselves.
+        let confirmed = leader == self.id && self.cluster_leader == Some(self.id) && !self.claimed;
+        if confirmed {
+            self.claimed = true;
+        }
+        if (adopted || confirmed) && self.phase == Phase::Elect {
+            self.phase = Phase::Spread;
+            self.quiet = 0;
+        }
+        adopted || confirmed || improved_best
+    }
+
+    /// Handle one received message; returns whether beliefs improved.
+    fn on_message(&mut self, msg: &MeshMessage) -> bool {
+        match ClusterMessage::decode(msg.payload) {
+            ClusterMessage::Candidate { cluster, echo } => {
+                self.echo = Some(msg.from);
+                if self.phase != Phase::Elect {
+                    return false;
+                }
+                if echo == Some(self.id) {
+                    // A neighbor heard our candidate alone: our own
+                    // transmission was a clean local Single.
+                    self.claim();
+                    true
+                } else if cluster == self.cluster {
+                    // The paper's terminal event, cluster-locally: a
+                    // same-cluster member transmitted alone.
+                    self.merge_leader(msg.from)
+                } else {
+                    // Foreign election traffic is interference to ours.
+                    self.lesk.update(ChannelState::Collision);
+                    false
+                }
+            }
+            ClusterMessage::Announce { cluster, leader, best } => {
+                let mut improved = false;
+                if best != FIELD_NONE {
+                    improved |= self.fold_best(best);
+                }
+                if leader != FIELD_NONE {
+                    if cluster == self.cluster {
+                        improved |= self.merge_leader(leader);
+                    } else {
+                        improved |= self.fold_best(leader);
+                    }
+                }
+                if self.phase == Phase::Elect {
+                    // Still electing and this announce was not about our
+                    // cluster: spread traffic is interference.
+                    self.lesk.update(ChannelState::Collision);
+                }
+                improved
+            }
+        }
+    }
+
+    /// Drive the LESK walk from a message-free observation.
+    fn on_silent_observation(&mut self, transmitted: bool, obs: Observation) {
+        match obs {
+            Observation::State(ChannelState::Single) => {
+                if transmitted {
+                    // Strong CD: we saw our own clean local Single — the
+                    // paper's Algorithm 1 terminal event.
+                    self.claim();
+                }
+                // A listener's Single always arrives with a message, so
+                // this arm is transmitter-only in practice.
+            }
+            Observation::State(state) => self.lesk.update(state),
+            Observation::TxAssumedCollision => {
+                if !self.nocd {
+                    self.lesk.update(ChannelState::Collision);
+                }
+            }
+            Observation::NoCd(_) => {
+                // Null and Collision are indistinguishable: feeding either
+                // into the walk breaks its asymmetry, so switch to the
+                // fixed-probability elect mode and stop driving `u`.
+                self.nocd = true;
+            }
+        }
+    }
+}
+
+impl MeshProtocol for ClusterElection {
+    fn act(&mut self, _slot: u64, rng: &mut dyn RngCore) -> Action {
+        let p = match self.phase {
+            Phase::Done => return Action::Sleep,
+            Phase::Spread => self.spread_p,
+            Phase::Elect if self.nocd => self.nocd_p,
+            Phase::Elect => tx_probability(self.lesk.u()),
+        };
+        if p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn payload(&self) -> u64 {
+        match self.phase {
+            Phase::Elect => {
+                ClusterMessage::Candidate { cluster: self.cluster, echo: self.echo }.encode()
+            }
+            Phase::Spread | Phase::Done => ClusterMessage::Announce {
+                cluster: self.cluster,
+                leader: self.cluster_leader.unwrap_or(FIELD_NONE),
+                best: self.best.unwrap_or(FIELD_NONE),
+            }
+            .encode(),
+        }
+    }
+
+    fn feedback(
+        &mut self,
+        _slot: u64,
+        transmitted: bool,
+        obs: Observation,
+        heard: Option<&MeshMessage>,
+    ) {
+        if self.phase == Phase::Done {
+            return;
+        }
+        if matches!(obs, Observation::NoCd(_)) {
+            self.nocd = true;
+        }
+        let improved = match heard {
+            Some(msg) => self.on_message(msg),
+            None => {
+                // The own-Single claim and the LESK walk only concern the
+                // elect phase; a Spread announce landing as a clean local
+                // Single is ordinary flooding, not new leadership evidence.
+                if self.phase == Phase::Elect {
+                    self.on_silent_observation(transmitted, obs);
+                }
+                false
+            }
+        };
+        if self.phase == Phase::Spread {
+            if improved {
+                self.quiet = 0;
+            } else {
+                self.quiet += 1;
+                if self.quiet >= self.quiet_target {
+                    self.phase = Phase::Done;
+                }
+            }
+        }
+    }
+
+    fn status(&self) -> Status {
+        match self.phase {
+            Phase::Done => {
+                if self.best == Some(self.id) {
+                    Status::Leader
+                } else {
+                    Status::NonLeader
+                }
+            }
+            _ => Status::Running,
+        }
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        match self.phase {
+            Phase::Elect => Some(self.lesk.u()),
+            _ => None,
+        }
+    }
+
+    fn mesh_status(&self) -> MeshStatus {
+        MeshStatus {
+            cluster_leader: self.cluster_leader,
+            network_leader: self.best,
+            is_cluster_leader: self.claimed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
+    use jle_engine::{run_multihop, MeshProtocol, SimConfig, StopRule};
+    use jle_radio::{CdModel, Topology};
+
+    fn jammer(eps: f64) -> AdversarySpec {
+        AdversarySpec::new(Rate::from_f64(1.0 - eps), 64, JamStrategyKind::Saturating)
+    }
+
+    fn run_scenario(
+        topo: &Topology,
+        clusters: &[u32],
+        cd: CdModel,
+        adversary: &AdversarySpec,
+        seed: u64,
+        max_slots: u64,
+        eps: f64,
+    ) -> jle_engine::RunReport {
+        let config = SimConfig::new(clusters.len() as u64, cd)
+            .with_seed(seed)
+            .with_max_slots(max_slots)
+            .with_stop(StopRule::AllTerminated);
+        run_multihop(&config, adversary, topo, Some(clusters), |i| {
+            Box::new(ClusterElection::for_assignment(i, clusters, eps))
+        })
+    }
+
+    /// Every test's endgame: one network leader, every cluster resolved,
+    /// and the leader is the minimum claimant.
+    fn assert_converged(report: &jle_engine::RunReport, label: &str) {
+        let mh = report.multihop.as_ref().expect("clustered runs carry the multihop block");
+        assert!(
+            mh.all_clusters_resolved(),
+            "{label}: unresolved clusters: {:?}",
+            mh.clusters.iter().filter(|c| c.resolved_at.is_none()).collect::<Vec<_>>()
+        );
+        let network = mh.network_leader.unwrap_or_else(|| panic!("{label}: no network leader"));
+        assert!(mh.converged_at.is_some(), "{label}: never converged");
+        let min_leader =
+            mh.clusters.iter().filter_map(|c| c.leader).min().expect("clusters have leaders");
+        assert_eq!(network, min_leader, "{label}: network leader must be the minimum claimant");
+        assert_eq!(
+            report.leaders,
+            vec![network],
+            "{label}: exactly the network leader terminates as Leader"
+        );
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        for msg in [
+            ClusterMessage::Candidate { cluster: 0, echo: None },
+            ClusterMessage::Candidate { cluster: 17, echo: Some(123_456) },
+            ClusterMessage::Announce { cluster: 2_000_000, leader: 5, best: 0 },
+            ClusterMessage::Announce { cluster: 0, leader: FIELD_NONE, best: FIELD_NONE },
+        ] {
+            assert_eq!(ClusterMessage::decode(msg.encode()), msg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "station id")]
+    fn oversized_id_is_rejected() {
+        let _ = ClusterElection::new(FIELD_NONE, 0, 0.5);
+    }
+
+    #[test]
+    fn alone_station_claims_immediately() {
+        let p = ClusterElection::new(7, 3, 0.5).alone();
+        let ms = p.mesh_status();
+        assert_eq!(ms.cluster_leader, Some(7));
+        assert_eq!(ms.network_leader, Some(7));
+        assert!(ms.is_cluster_leader);
+    }
+
+    #[test]
+    fn concurrent_claims_merge_to_the_minimum() {
+        let mut p = ClusterElection::new(9, 0, 0.5).alone();
+        assert!(p.mesh_status().is_cluster_leader);
+        // An announce naming a smaller same-cluster claimant: abdicate.
+        let msg = MeshMessage {
+            from: 4,
+            payload: ClusterMessage::Announce { cluster: 0, leader: 4, best: 4 }.encode(),
+        };
+        p.feedback(0, false, Observation::State(ChannelState::Single), Some(&msg));
+        let ms = p.mesh_status();
+        assert_eq!(ms.cluster_leader, Some(4));
+        assert_eq!(ms.network_leader, Some(4));
+        assert!(!ms.is_cluster_leader, "the larger claimant abdicates");
+        // A larger claimant later: ignored.
+        let msg = MeshMessage {
+            from: 11,
+            payload: ClusterMessage::Announce { cluster: 0, leader: 11, best: 11 }.encode(),
+        };
+        p.feedback(1, false, Observation::State(ChannelState::Single), Some(&msg));
+        assert_eq!(p.mesh_status().cluster_leader, Some(4));
+    }
+
+    #[test]
+    fn echo_confirms_a_weak_cd_claim() {
+        // Station 2 transmitted; a neighbor echoes it: claim despite never
+        // seeing its own Single (weak CD).
+        let mut p = ClusterElection::new(2, 1, 0.5);
+        let msg = MeshMessage {
+            from: 8,
+            payload: ClusterMessage::Candidate { cluster: 5, echo: Some(2) }.encode(),
+        };
+        p.feedback(3, false, Observation::State(ChannelState::Single), Some(&msg));
+        let ms = p.mesh_status();
+        assert_eq!(ms.cluster_leader, Some(2));
+        assert!(ms.is_cluster_leader, "echo of our id confirms the claim");
+    }
+
+    #[test]
+    fn dense_linear_converges_under_jamming() {
+        let eps = 0.4;
+        for (cd, seed) in [
+            (CdModel::Strong, 11u64),
+            (CdModel::Weak, 12),
+            (CdModel::Strong, 13),
+            (CdModel::Weak, 14),
+        ] {
+            let (topo, clusters) = Topology::dense_linear(4, 4);
+            let report = run_scenario(&topo, &clusters, cd, &jammer(eps), seed, 400_000, eps);
+            assert_converged(&report, &format!("dense-linear {cd:?} seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn core_tail_converges_under_jamming() {
+        let eps = 0.4;
+        for (cd, seed) in [(CdModel::Strong, 21u64), (CdModel::Weak, 22)] {
+            let (topo, clusters) = Topology::core_tail(5, 4);
+            let report = run_scenario(&topo, &clusters, cd, &jammer(eps), seed, 400_000, eps);
+            assert_converged(&report, &format!("core-tail {cd:?} seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn no_cd_elects_small_clusters_unjammed() {
+        let (topo, clusters) = Topology::dense_linear(3, 3);
+        let report = run_scenario(
+            &topo,
+            &clusters,
+            CdModel::NoCd,
+            &AdversarySpec::passive(),
+            31,
+            400_000,
+            0.4,
+        );
+        assert_converged(&report, "dense-linear no-CD");
+    }
+
+    #[test]
+    fn single_cluster_complete_matches_the_paper_shape() {
+        // One cluster on a complete graph is just LESK plus the spread
+        // epilogue: exactly one station ends as Leader.
+        let clusters = vec![0u32; 32];
+        let topo = Topology::complete();
+        let report = run_scenario(
+            &topo,
+            &clusters,
+            CdModel::Strong,
+            &AdversarySpec::passive(),
+            41,
+            200_000,
+            0.5,
+        );
+        assert_converged(&report, "single-cluster complete");
+        let mh = report.multihop.as_ref().unwrap();
+        assert_eq!(mh.clusters.len(), 1);
+        assert_eq!(mh.clusters[0].leader, mh.network_leader);
+    }
+}

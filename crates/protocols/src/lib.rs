@@ -13,6 +13,7 @@
 //! | slot taxonomy IS/IC/CS/CC/E/R — Section 2.2, Lemmas 2.2–2.5 | [`classify`] |
 //! | Lemma 2.1 bounds & runtime shapes | [`math`] |
 //! | comparison protocols (§1.3) | [`baselines`] |
+//! | multi-hop cluster elections (LESK per cluster + merge) | [`cluster`] |
 //!
 //! All selection-resolution protocols implement
 //! [`jle_engine::UniformProtocol`] and run on both the cohort and the
@@ -25,6 +26,7 @@
 pub mod baselines;
 pub mod broadcast;
 pub mod classify;
+pub mod cluster;
 pub mod estimation;
 pub mod extensions;
 pub mod lesk;
@@ -34,6 +36,7 @@ pub mod notification;
 
 pub use baselines::{ArssMacProtocol, BackoffProtocol, WillardProtocol};
 pub use classify::SlotTaxonomy;
+pub use cluster::{ClusterElection, ClusterMessage};
 pub use estimation::EstimationProtocol;
 pub use extensions::{
     run_fair_use, run_k_selection, targeted_tdma_jammer, DutyCycledLesk, FairUseReport,

@@ -21,8 +21,14 @@
 //!
 //! The crate also provides the deterministic interval partition
 //! C1/C2/C3 of the paper's Section 3 ([`partition`]), the per-slot
-//! ground-truth record ([`SlotTruth`]), compact slot traces ([`trace`]) and
-//! a bounded channel history for adaptive adversaries ([`history`]).
+//! ground-truth record ([`SlotTruth`]), compact slot traces ([`trace`]), a
+//! bounded channel history for adaptive adversaries ([`history`]) and the
+//! multi-hop interference-graph layer ([`topology`]): a validated
+//! [`Topology`] (complete / unit-disk / explicit adjacency) whose
+//! per-node slot outcomes are resolved from each node's *closed
+//! neighborhood* through the same arithmetic
+//! ([`topology::resolve`]) as the global channel, so single-hop is just
+//! the complete-graph special case.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +37,12 @@ pub mod cd;
 pub mod history;
 pub mod partition;
 pub mod slot;
+pub mod topology;
 pub mod trace;
 
 pub use cd::{CdModel, Observation};
 pub use history::{ChannelHistory, HistoryView};
 pub use partition::{Interval, SlotClass};
 pub use slot::{ChannelState, NoCdState, SlotTruth};
+pub use topology::{unit_disk_positions, Graph, Topology, TopologyError};
 pub use trace::{PackedSlot, Trace};

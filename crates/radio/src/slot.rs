@@ -95,17 +95,13 @@ impl SlotTruth {
     /// transmitters" (abstract of the paper). In particular jamming
     /// destroys a would-be `Single`, and the adversary can never *create*
     /// a `Null` or a `Single`.
+    ///
+    /// The arithmetic is [`crate::topology::resolve`], shared with the
+    /// per-neighborhood multi-hop path so CD/no-CD/jamming semantics
+    /// cannot drift between the global and local channels.
     #[inline]
     pub const fn observed(&self) -> ChannelState {
-        if self.jammed {
-            ChannelState::Collision
-        } else {
-            match self.transmitters {
-                0 => ChannelState::Null,
-                1 => ChannelState::Single,
-                _ => ChannelState::Collision,
-            }
-        }
+        crate::topology::resolve(self.transmitters, self.jammed)
     }
 
     /// Whether the slot is an *unjammed successful transmission* — the only

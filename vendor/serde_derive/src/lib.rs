@@ -8,7 +8,9 @@
 //! * enums with unit, tuple/newtype, and struct variants (externally
 //!   tagged, like real serde: unit → `"Name"`, payload → `{"Name": ...}`);
 //! * field attributes `#[serde(skip)]` (omit on serialize, `Default` on
-//!   deserialize) and `#[serde(default)]` (missing key → `Default`).
+//!   deserialize), `#[serde(default)]` (missing key → `Default`), and
+//!   `#[serde(skip_serializing_if = "path")]` (omit the key when
+//!   `path(&field)` is true; pair with `default` for round-tripping).
 //!
 //! Generic parameters are intentionally unsupported (no derived type in
 //! this workspace has them) and produce a compile error.
@@ -23,6 +25,17 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    /// Predicate path from `skip_serializing_if = "path"`: the key is
+    /// omitted on serialize when `path(&field)` returns true.
+    skip_if: Option<String>,
+}
+
+/// Flags folded out of a run of `#[serde(...)]` attributes.
+#[derive(Default)]
+struct AttrFlags {
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
 }
 
 enum VariantKind {
@@ -61,22 +74,48 @@ fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
 }
 
 /// Consume leading `#[...]` attributes; fold any `serde(...)` flags found.
-fn take_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, bool) {
-    let (mut skip, mut default) = (false, false);
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
     while is_punct(toks.get(*i), '#') {
         if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if is_ident(inner.first(), "serde") {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    for t in args.stream() {
-                        if let TokenTree::Ident(id) = t {
-                            match id.to_string().as_str() {
-                                "skip" => skip = true,
-                                "default" => default = true,
+                    let ts: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let mut k = 0;
+                    while k < ts.len() {
+                        match &ts[k] {
+                            TokenTree::Ident(id) => match id.to_string().as_str() {
+                                "skip" => {
+                                    flags.skip = true;
+                                    k += 1;
+                                }
+                                "default" => {
+                                    flags.default = true;
+                                    k += 1;
+                                }
+                                "skip_serializing_if" => {
+                                    assert!(
+                                        is_punct(ts.get(k + 1), '='),
+                                        "vendored serde_derive: expected `=` after skip_serializing_if"
+                                    );
+                                    let lit = match ts.get(k + 2) {
+                                        Some(TokenTree::Literal(l)) => l.to_string(),
+                                        other => panic!(
+                                            "vendored serde_derive: expected string literal for skip_serializing_if, got {other:?}"
+                                        ),
+                                    };
+                                    flags.skip_if = Some(lit.trim_matches('"').to_string());
+                                    k += 3;
+                                }
                                 other => panic!(
                                     "vendored serde_derive: unsupported serde attribute `{other}`"
                                 ),
-                            }
+                            },
+                            TokenTree::Punct(p) if p.as_char() == ',' => k += 1,
+                            other => panic!(
+                                "vendored serde_derive: unexpected token {other:?} in serde attribute"
+                            ),
                         }
                     }
                 }
@@ -86,7 +125,7 @@ fn take_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, bool) {
         }
         *i += 2;
     }
-    (skip, default)
+    flags
 }
 
 /// Consume an optional `pub` / `pub(...)` visibility.
@@ -127,7 +166,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < toks.len() {
-        let (skip, default) = take_attrs(&toks, &mut i);
+        let flags = take_attrs(&toks, &mut i);
         take_vis(&toks, &mut i);
         let name = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -137,7 +176,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         assert!(is_punct(toks.get(i), ':'), "vendored serde_derive: expected `:` after field name");
         i += 1;
         skip_type(&toks, &mut i);
-        fields.push(Field { name, skip, default });
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+            skip_if: flags.skip_if,
+        });
     }
     fields
 }
@@ -246,11 +290,17 @@ fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
         if f.skip {
             continue;
         }
-        s.push_str(&format!(
+        let push = format!(
             "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_json_value(&{a})));\n",
             n = f.name,
             a = access(&f.name)
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => {
+                s.push_str(&format!("if !{path}(&{a}) {{ {push} }}\n", a = access(&f.name)))
+            }
+            None => s.push_str(&push),
+        }
     }
     s.push_str("::serde::value::Value::Map(__m) }");
     s
