@@ -26,11 +26,12 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan, FaultPlan,
-    FaultyStations, LeaderLedger, MultihopStations, PerStation, Protocol, SimArena, SimConfig,
-    SimCore, SplitBrainObserver, StdMesh, UniformProtocol,
+    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan, ExactStations,
+    FaultPlan, FaultyStations, LeaderLedger, MultihopStations, PerStation, Protocol, SimArena,
+    SimConfig, SimCore, SlotActions, SlotObserver, SplitBrainObserver, StdMesh, UniformProtocol,
 };
-use jle_radio::{CdModel, ChannelState, Observation, Topology};
+use jle_radio::{CdModel, ChannelState, Observation, SlotTruth, Topology};
+use jle_telemetry::SpanRecorder;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -45,6 +46,22 @@ impl UniformProtocol for AlwaysCollide {
     fn on_state(&mut self, _: u64, _: ChannelState) {}
     fn reset(&mut self) -> bool {
         true
+    }
+}
+
+/// The lens's disabled path as an observer: attached but declining
+/// probes and estimates, so each slot costs the engine one branch and
+/// one virtual call.
+struct IdleLens;
+
+impl SlotObserver for IdleLens {
+    fn on_slot(
+        &mut self,
+        _slot: u64,
+        _truth: &SlotTruth,
+        _actions: &SlotActions,
+        _estimate: Option<f64>,
+    ) {
     }
 }
 
@@ -214,6 +231,40 @@ fn arms() -> Vec<Arm> {
                 black_box(SimCore::new(&config, &adv).observe(&mut split).run(&mut stations));
             }),
         },
+        // Paired A/B arms for the lens's disabled path: the same
+        // workload bare, and with the replay-era hooks present but idle —
+        // an attached observer that declines probes (so the engine takes
+        // only the `wants_probes` branch plus one virtual call per slot)
+        // inside a span on a *disabled* recorder. Gated against each
+        // other in `main` like the churn pair.
+        Arm {
+            group: "lens_overhead",
+            name: "bare/1024",
+            iters: 5,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(2_000);
+                black_box(run_exact(&config, &adv, |_| Box::new(PerStation::new(AlwaysCollide))));
+            }),
+        },
+        Arm {
+            group: "lens_overhead",
+            name: "hooks_idle/1024",
+            iters: 5,
+            run: Box::new(|| {
+                let adv = sat();
+                let config =
+                    SimConfig::new(1 << 10, CdModel::Strong).with_seed(7).with_max_slots(2_000);
+                let tracer = SpanRecorder::disabled();
+                let _span = tracer.span("engine", "run:seed=7");
+                let mut idle = IdleLens;
+                let mut stations = ExactStations::new(&config, |_| {
+                    Box::new(PerStation::new(AlwaysCollide)) as Box<dyn Protocol>
+                });
+                black_box(SimCore::new(&config, &adv).observe(&mut idle).run(&mut stations));
+            }),
+        },
         // Paired A/B arms for the multi-hop per-neighborhood backend:
         // one 64-cluster unit-disk workload (4096 stations, mean degree
         // ~32, never-resolving), run once with sharding disabled
@@ -275,6 +326,10 @@ struct Cli {
     /// Allowed overhead of the churn wrapper + idle split-brain observer
     /// over the pristine exact run (same-process A/B pair).
     churn_overhead_threshold: f64,
+    /// Allowed overhead of the idle lens hooks (attached non-probing
+    /// observer + disabled span recorder) over the bare exact run
+    /// (same-process A/B pair).
+    lens_overhead_threshold: f64,
     /// Latency budget for a warm-cache submission through an in-process
     /// `jle-sweepd` service (socket round-trips + scheduling + cache
     /// replay), in milliseconds.
@@ -357,14 +412,17 @@ fn measure_sweepd_overhead(samples: u32) -> std::io::Result<(f64, f64)> {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--threshold <frac>] [--samples <n>] [--normalize] \
-         [--baseline <path>] [--churn-overhead-threshold <frac>]\n\n\
+         [--baseline <path>] [--churn-overhead-threshold <frac>]\n\
+         [--lens-overhead-threshold <frac>] [--sweepd-budget-ms <ms>]\n\n\
          Fails (exit 1) when a measured engine_throughput arm regresses more\n\
          than <frac> (default 0.10) against the newest results/BENCH.json\n\
          entry. --normalize gates each arm against the median measured/recorded\n\
          ratio instead of the raw ratio, absorbing uniform machine-speed\n\
          differences (use in CI). The churn_overhead pair additionally gates\n\
          the disabled open-world stack against its same-run pristine twin\n\
-         (default limit 0.02). The sweepd_overhead pair submits a warm-cache\n\
+         (default limit 0.02), the lens_overhead pair gates the idle\n\
+         tracing/probe hooks the same way (default limit 0.02), and the\n\
+         sweepd_overhead pair submits a warm-cache\n\
          unit through an in-process jle-sweepd and gates the round-trip\n\
          against --sweepd-budget-ms (default 50)."
     );
@@ -378,6 +436,7 @@ fn parse_args(args: &[String]) -> Cli {
         normalize: false,
         baseline: "results/BENCH.json".into(),
         churn_overhead_threshold: 0.02,
+        lens_overhead_threshold: 0.02,
         sweepd_budget_ms: 50.0,
     };
     let mut it = args.iter();
@@ -410,6 +469,15 @@ fn parse_args(args: &[String]) -> Cli {
                     Ok(t) if t > 0.0 => cli.churn_overhead_threshold = t,
                     _ => {
                         eprintln!("error: --churn-overhead-threshold expects a positive fraction");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--lens-overhead-threshold" => {
+                match value("--lens-overhead-threshold").parse::<f64>() {
+                    Ok(t) if t > 0.0 => cli.lens_overhead_threshold = t,
+                    _ => {
+                        eprintln!("error: --lens-overhead-threshold expects a positive fraction");
                         std::process::exit(2);
                     }
                 }
@@ -520,6 +588,29 @@ fn main() {
         println!(
             "churn_overhead (disabled path)           {overhead:>+7.1}%   (limit {:.0}%)   {verdict}",
             cli.churn_overhead_threshold * 100.0,
+            overhead = overhead * 100.0,
+        );
+    }
+
+    // Same-run A/B gate for the lens hooks' disabled path: an attached
+    // observer that declines probes plus a disabled span recorder must
+    // be nearly free next to the bare exact run from the same process.
+    let lens_ns = |name: &str| {
+        rows.iter()
+            .find(|(label, _, _)| label == &format!("lens_overhead/{name}"))
+            .map(|(_, ns, _)| *ns)
+    };
+    if let (Some(bare), Some(idle)) = (lens_ns("bare/1024"), lens_ns("hooks_idle/1024")) {
+        let overhead = idle / bare - 1.0;
+        let verdict = if overhead > cli.lens_overhead_threshold {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "lens_overhead (disabled path)            {overhead:>+7.1}%   (limit {:.0}%)   {verdict}",
+            cli.lens_overhead_threshold * 100.0,
             overhead = overhead * 100.0,
         );
     }

@@ -56,6 +56,13 @@ struct Args {
     /// (`tcp:HOST:PORT` or `unix:PATH`). Only plain cohort elections
     /// (no churn, lease, or noise) can be served remotely.
     server: Option<String>,
+    /// Write the end-to-end Chrome trace of a `--server` run to this
+    /// path (`--trace-out`): client submit spans with the server's
+    /// admission/queue/execute/deliver stages, orchestrator chunks, and
+    /// engine runs spliced in under one trace id. Written even if the
+    /// run panics (truncated but valid). Validate with
+    /// `jle-lens trace-check`.
+    trace_out: Option<String>,
     /// Interference topology (`--topology`): `complete` (the paper's
     /// single shared channel, the default) or a graph spec —
     /// `dense-linear:K,M`, `core-tail:C,T`, `unit-disk:N,R,SEED`. Graph
@@ -146,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
         lease_miss_tolerance: 10,
         lease_timeout: 512,
         server: None,
+        trace_out: None,
         topology: "complete".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -207,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
                 args.lease_timeout = val.parse().map_err(|e| format!("--lease-timeout: {e}"))?
             }
             "--server" => args.server = Some(val.clone()),
+            "--trace-out" => args.trace_out = Some(val.clone()),
             "--topology" => args.topology = val.clone(),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -332,6 +341,12 @@ fn run_on_server(args: &Args, adv: &AdversarySpec, ep: &str) -> Result<Vec<RunRe
     let endpoint = jle_sweepd::Endpoint::parse(ep).map_err(|e| format!("--server: {e}"))?;
     let mut client = jle_sweepd::SweepClient::connect(&endpoint)
         .map_err(|e| format!("cannot connect to sweepd at {endpoint}: {e}"))?;
+    // Flush-on-drop so even a panicking run leaves a valid (truncated)
+    // trace document behind.
+    let _trace_flush = args.trace_out.as_ref().map(|path| {
+        client.enable_tracing();
+        client.tracer().flush_on_drop(path)
+    });
     let point = format!(
         "{}/n={}/cd={:?}/adv={}/seed={}",
         args.protocol,
@@ -481,7 +496,7 @@ fn main() {
                  [--churn-seed S] [--churn-join-prob F] [--churn-join-window W] \
                  [--churn-leave-prob F] [--churn-leave-window W] [--churn-rejoin-after D] \
                  [--lease-beacon B] [--lease-miss-tolerance K] [--lease-timeout L] \
-                 [--server tcp:HOST:PORT|unix:PATH] \
+                 [--server tcp:HOST:PORT|unix:PATH] [--trace-out PATH] \
                  [--topology complete|dense-linear:K,M|core-tail:C,T|unit-disk:N,R,SEED]"
             );
             std::process::exit(2);
@@ -511,6 +526,10 @@ fn main() {
         }
     }
     let args = args;
+    if args.trace_out.is_some() && args.server.is_none() {
+        eprintln!("error: --trace-out traces the service path; it needs --server");
+        std::process::exit(2);
+    }
 
     let server_reports: Option<Vec<RunReport>> = match &args.server {
         Some(ep) => match run_on_server(&args, &adv, ep) {

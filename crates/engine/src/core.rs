@@ -35,7 +35,7 @@
 //! consume no randomness and may not be reordered around the draws above.
 
 use crate::config::SimConfig;
-use crate::observer::{EnergyObserver, SlotObserver, TraceObserver};
+use crate::observer::{EnergyObserver, SlotObserver, StateProbe, TraceObserver};
 use crate::protocol::Protocol;
 use crate::report::RunReport;
 use jle_adversary::{AdversarySpec, JamBudget, JamStrategy, Rate};
@@ -186,6 +186,16 @@ pub trait StationSet {
     /// only when an observer wants it, after `act` and before `feedback`.
     fn estimate(&self) -> Option<f64> {
         None
+    }
+
+    /// Collect every station's [`StateProbe`] (post-feedback state) into
+    /// `out`, in station-id order; stations whose protocol exposes no
+    /// probe are skipped. Queried only when an attached observer asked
+    /// via [`SlotObserver::wants_probes`] — the default no-op keeps
+    /// probe-less backends free. Must not mutate state or draw
+    /// randomness.
+    fn collect_probes(&self, out: &mut Vec<StateProbe>) {
+        let _ = out;
     }
 
     /// Whether the run stops after this slot. May record stop-rule state
@@ -399,6 +409,8 @@ impl<'a> SimCore<'a> {
         };
         let wants_estimate =
             trace_obs.is_some() || self.observers.iter().any(|o| o.wants_estimate());
+        let wants_probes = self.observers.iter().any(|o| o.wants_probes());
+        let mut probes: Vec<StateProbe> = Vec::new();
         let mut report = RunReport::default();
 
         for slot in 0..config.max_slots {
@@ -435,8 +447,19 @@ impl<'a> SimCore<'a> {
                 report.winner = stations.pick_winner(&actions, config, &mut rng);
             }
 
-            // 6. Feedback, bookkeeping, stop rules.
+            // 6. Feedback, bookkeeping, stop rules. Probes sample the
+            // *post-feedback* state (consuming no randomness), so a
+            // timeline shows the transition each slot caused.
             stations.feedback(slot, &truth, config);
+            if wants_probes {
+                probes.clear();
+                stations.collect_probes(&mut probes);
+                for obs in self.observers.iter_mut() {
+                    if obs.wants_probes() {
+                        obs.on_probes(slot, &probes);
+                    }
+                }
+            }
             history.push(&truth);
             report.slots = slot + 1;
             if stations.should_stop(&truth, config, &mut report) {

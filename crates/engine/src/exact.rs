@@ -13,6 +13,7 @@
 
 use crate::config::{SimConfig, StopRule};
 use crate::core::{SimArena, SimCore, SlotActions, SlotFlags, StationSet};
+use crate::observer::StateProbe;
 use crate::protocol::{Action, Protocol, Status};
 use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
@@ -142,6 +143,14 @@ impl StationSet for ExactStations {
 
     fn estimate(&self) -> Option<f64> {
         self.stations.iter().find(|s| !s.status().terminal()).and_then(|s| s.estimate())
+    }
+
+    fn collect_probes(&self, out: &mut Vec<StateProbe>) {
+        for (i, st) in self.stations.iter().enumerate() {
+            if let Some((state, value)) = st.state_probe() {
+                out.push(StateProbe { station: i as u64, state, value });
+            }
+        }
     }
 
     fn should_stop(

@@ -35,6 +35,7 @@
 use crate::config::{SimConfig, StopRule};
 use crate::core::{SimArena, SimCore, SlotActions, StationSet};
 use crate::faults::{FaultPlan, FaultyStation};
+use crate::observer::StateProbe;
 use crate::protocol::{Action, Protocol, Status};
 use crate::report::RunReport;
 use crate::streams::{station_key, StationRng};
@@ -494,6 +495,17 @@ impl StationSet for FastExactStations {
         self.stations[self.pos[id as usize] as usize].estimate()
     }
 
+    fn collect_probes(&self, out: &mut Vec<StateProbe>) {
+        // Id order despite the permuted storage (parked and terminated
+        // stations included — their probes show *why* they left the loop).
+        for id in 0..self.pos.len() {
+            let st = &self.stations[self.pos[id] as usize];
+            if let Some((state, value)) = st.state_probe() {
+                out.push(StateProbe { station: id as u64, state, value });
+            }
+        }
+    }
+
     fn should_stop(
         &mut self,
         _truth: &SlotTruth,
@@ -595,6 +607,10 @@ impl StationSet for FastFaultyStations<'_> {
 
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn collect_probes(&self, out: &mut Vec<StateProbe>) {
+        self.inner.collect_probes(out)
     }
 
     fn should_stop(

@@ -31,6 +31,7 @@
 use crate::config::SimConfig;
 use crate::core::{SimCore, SlotActions, StationSet};
 use crate::exact::ExactStations;
+use crate::observer::StateProbe;
 use crate::protocol::{Action, Protocol, Status};
 use crate::report::RunReport;
 use jle_adversary::AdversarySpec;
@@ -474,6 +475,13 @@ impl Protocol for FaultyStation {
         self.inner.estimate()
     }
 
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        if self.crashed {
+            return Some(("crashed", None));
+        }
+        self.inner.state_probe()
+    }
+
     fn wake_hint(&self, slot: u64) -> u64 {
         if self.faults.down_at(slot) {
             if slot < self.faults.wake_at {
@@ -550,6 +558,10 @@ impl StationSet for FaultyStations<'_> {
 
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn collect_probes(&self, out: &mut Vec<StateProbe>) {
+        self.inner.collect_probes(out)
     }
 
     fn should_stop(

@@ -85,7 +85,7 @@ pub use multihop::{
     run_multihop, run_multihop_std, run_multihop_with, MeshMessage, MeshProtocol, MeshStatus,
     MultihopStations, RngDiscipline, StdMesh,
 };
-pub use observer::{EnergyObserver, SlotObserver, ThroughputObserver, TraceObserver};
+pub use observer::{EnergyObserver, SlotObserver, StateProbe, ThroughputObserver, TraceObserver};
 pub use protocol::{Action, PerStation, Protocol, Status, UniformProtocol};
 pub use report::{
     ClusterOutcome, EnergyStats, MultihopReport, Outcome, RunReport, SlotCost, SplitBrainStats,

@@ -119,6 +119,12 @@ pub trait MeshProtocol: Send {
         None
     }
 
+    /// Current state as a `(label, scalar)` pair for replay timelines;
+    /// mirrors [`Protocol::state_probe`].
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        None
+    }
+
     /// Election beliefs for convergence tracking and the report.
     fn mesh_status(&self) -> MeshStatus {
         MeshStatus::default()
@@ -164,6 +170,10 @@ impl MeshProtocol for StdMesh {
 
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        self.inner.state_probe()
     }
 }
 
@@ -730,6 +740,15 @@ impl StationSet for MultihopStations<'_> {
             .map(|id| &self.stations[self.pos[id] as usize])
             .find(|s| !s.status().terminal())
             .and_then(|s| s.estimate())
+    }
+
+    fn collect_probes(&self, out: &mut Vec<crate::observer::StateProbe>) {
+        for id in 0..self.order.len() {
+            let st = &self.stations[self.pos[id] as usize];
+            if let Some((state, value)) = st.state_probe() {
+                out.push(crate::observer::StateProbe { station: id as u64, state, value });
+            }
+        }
     }
 
     fn should_stop(

@@ -16,6 +16,25 @@ use crate::core::SlotActions;
 use crate::report::{EnergyStats, RunReport};
 use jle_radio::{SlotTruth, Trace};
 
+/// One station's protocol-internal state, sampled at the end of a slot
+/// (after feedback) for replay timelines and state-transition debugging.
+///
+/// Produced by [`crate::Protocol::state_probe`] implementations and
+/// collected by [`crate::StationSet::collect_probes`]; delivered to
+/// observers that opted in via [`SlotObserver::wants_probes`]. `state` is
+/// a protocol-chosen static label (e.g. LESK's `"electing"`, a lease
+/// protocol's `"leading"`); `value` an optional scalar (LESK's estimate
+/// `u`, a lease epoch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateProbe {
+    /// Station id the probe describes.
+    pub station: u64,
+    /// Protocol-chosen state label.
+    pub state: &'static str,
+    /// Optional protocol-internal scalar.
+    pub value: Option<f64>,
+}
+
 /// A passive per-slot instrumentation layer (see the module docs).
 pub trait SlotObserver {
     /// Whether this observer consumes the per-slot protocol estimate. The
@@ -23,6 +42,21 @@ pub trait SlotObserver {
     /// exact engine — only if some attached observer wants it.
     fn wants_estimate(&self) -> bool {
         false
+    }
+
+    /// Whether this observer consumes per-station [`StateProbe`]s. The
+    /// core collects probes — an O(n) scan — only if some attached
+    /// observer wants them; the disabled path costs one branch per slot.
+    fn wants_probes(&self) -> bool {
+        false
+    }
+
+    /// Called once per played slot, after feedback has been delivered,
+    /// with every station's [`StateProbe`] (stations whose protocol
+    /// returns `None` are absent). Only called when
+    /// [`SlotObserver::wants_probes`] held for this observer.
+    fn on_probes(&mut self, slot: u64, probes: &[StateProbe]) {
+        let _ = (slot, probes);
     }
 
     /// Called once per played slot, after the slot's randomness is fully
@@ -56,6 +90,12 @@ pub trait SlotObserver {
 impl<O: SlotObserver + ?Sized> SlotObserver for &mut O {
     fn wants_estimate(&self) -> bool {
         (**self).wants_estimate()
+    }
+    fn wants_probes(&self) -> bool {
+        (**self).wants_probes()
+    }
+    fn on_probes(&mut self, slot: u64, probes: &[StateProbe]) {
+        (**self).on_probes(slot, probes)
     }
     fn on_slot(
         &mut self,

@@ -88,6 +88,17 @@ pub trait Protocol: Send {
         None
     }
 
+    /// Current protocol-internal state as a `(label, scalar)` pair for
+    /// replay timelines ([`crate::StateProbe`]): a static state label of
+    /// the protocol's choosing plus an optional scalar (LESK returns its
+    /// estimate `u`, a lease protocol its epoch). Sampled after feedback,
+    /// only when an observer opted in via
+    /// [`crate::SlotObserver::wants_probes`] — the default path costs
+    /// nothing. Must not mutate state or draw randomness.
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        None
+    }
+
     /// Wake hint for the active-set backend: the next slot this station
     /// wants [`Protocol::act`] called, given that it just returned
     /// [`Action::Sleep`] for `slot`. Only consulted by
@@ -157,6 +168,13 @@ pub trait UniformProtocol: Send {
 
     /// Optional protocol-internal scalar (LESK's `u`) for traces.
     fn estimate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Current state as a `(label, scalar)` pair for replay timelines;
+    /// mirrors [`Protocol::state_probe`] (which [`PerStation`] forwards
+    /// here while the station is running).
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
         None
     }
 
@@ -239,6 +257,16 @@ impl<U: UniformProtocol + Send> Protocol for PerStation<U> {
 
     fn estimate(&self) -> Option<f64> {
         self.inner.estimate()
+    }
+
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        // A terminated station's state is its verdict; while running the
+        // wrapped uniform protocol speaks for itself.
+        match self.status {
+            Status::Leader => Some(("leader", None)),
+            Status::NonLeader => Some(("non_leader", None)),
+            Status::Running => self.inner.state_probe(),
+        }
     }
 
     fn reset(&mut self) -> bool {

@@ -55,6 +55,13 @@ pub struct EngineMetrics {
     /// `jle_engine_reelections_total` — lease-loss re-elections across
     /// observed runs.
     pub reelections_total: Counter,
+    /// `jle_engine_multihop_cluster_resolved_total` — clusters that
+    /// resolved a leader, across observed multi-hop runs.
+    pub multihop_cluster_resolved_total: Counter,
+    /// `jle_engine_cross_cluster_interference_slots` — node-slot events
+    /// where a foreign cluster manufactured a collision, across observed
+    /// multi-hop runs.
+    pub cross_cluster_interference_slots: Counter,
 }
 
 impl EngineMetrics {
@@ -93,6 +100,14 @@ impl EngineMetrics {
             reelections_total: registry.counter(
                 "jle_engine_reelections_total",
                 "lease-loss re-elections across observed runs",
+            ),
+            multihop_cluster_resolved_total: registry.counter(
+                "jle_engine_multihop_cluster_resolved_total",
+                "clusters that resolved a leader across observed multi-hop runs",
+            ),
+            cross_cluster_interference_slots: registry.counter(
+                "jle_engine_cross_cluster_interference_slots",
+                "foreign-cluster collision node-slots across observed multi-hop runs",
             ),
         }
     }
@@ -282,6 +297,11 @@ impl SlotObserver for TelemetryObserver {
                 m.split_brain_windows_total.add(report.split_brain.windows);
                 m.split_brain_slots_total.add(report.split_brain.split_slots);
                 m.reelections_total.add(report.split_brain.reelections);
+            }
+            if let Some(mh) = &report.multihop {
+                let resolved = mh.clusters.iter().filter(|c| c.resolved_at.is_some()).count();
+                m.multihop_cluster_resolved_total.add(resolved as u64);
+                m.cross_cluster_interference_slots.add(mh.cross_cluster_interference);
             }
         }
         if let Some((kind, detail)) = Self::classify(report) {
@@ -483,6 +503,30 @@ mod tests {
         // A converged run updates counters but is not anomalous.
         report.split_brain.believers = vec![4];
         assert!(TelemetryObserver::classify(&report).is_none());
+    }
+
+    #[test]
+    fn multihop_runs_update_cluster_counters() {
+        use crate::report::{ClusterOutcome, MultihopReport};
+        let reg = MetricRegistry::new();
+        let metrics = EngineMetrics::register(&reg);
+        let config = SimConfig::new(6, CdModel::Strong).with_seed(2).with_max_slots(10);
+        let mut obs = TelemetryObserver::new(&config).with_metrics(metrics.clone());
+        let mut report = RunReport { slots: 10, ..Default::default() };
+        report.multihop = Some(MultihopReport {
+            topology: "dense-linear:3,2".into(),
+            components: 1,
+            clusters: vec![
+                ClusterOutcome { cluster: 0, size: 3, resolved_at: Some(4), leader: Some(1) },
+                ClusterOutcome { cluster: 1, size: 3, resolved_at: None, leader: None },
+            ],
+            converged_at: None,
+            network_leader: None,
+            cross_cluster_interference: 7,
+        });
+        obs.after_run(&report);
+        assert_eq!(metrics.multihop_cluster_resolved_total.get(), 1);
+        assert_eq!(metrics.cross_cluster_interference_slots.get(), 7);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Structural validation of exported Chrome traces.
+//!
+//! The workspace's span recorder exports `chrome://tracing` documents
+//! whose `args` carry the causal metadata the viewer ignores: a span id,
+//! a parent span id (0 = root), and — on distributed paths — a 16-hex
+//! trace id stamped from the submit-side [`jle_telemetry::TraceContext`].
+//! This module checks the properties the tracing tentpole promises:
+//!
+//! * one trace id per document (the client's context survived admission,
+//!   queueing, orchestration, and engine execution);
+//! * span ids are unique and every `parent` reference either resolves in
+//!   the document or is explicitly counted as external;
+//! * resolved children nest inside their parents' time ranges, within a
+//!   tolerance that absorbs the clock rebasing done when server spans
+//!   are spliced into a client recorder.
+
+use serde::Value;
+
+/// Structural summary of one Chrome-trace document.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Complete (`ph == "X"`) events examined.
+    pub events: usize,
+    /// Distinct span categories, sorted.
+    pub categories: Vec<String>,
+    /// Distinct trace ids found in `args.trace`, sorted.
+    pub trace_ids: Vec<String>,
+    /// Spans with `parent == 0`.
+    pub roots: usize,
+    /// Spans whose parent id does not resolve in the document (legal
+    /// for cross-process splices where only one side was exported).
+    pub external_parents: usize,
+    /// Structural violations found (empty ⇔ the document is sound).
+    pub violations: Vec<String>,
+}
+
+impl TraceReport {
+    /// Whether the document passed every structural check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+struct Span {
+    name: String,
+    cat: String,
+    ts: u64,
+    dur: u64,
+    id: u64,
+    parent: u64,
+    external: bool,
+}
+
+/// Validate a parsed Chrome-trace document (the JSON object form with a
+/// `traceEvents` array). `tolerance_us` is the slack allowed on child
+/// containment.
+///
+/// `Err` means the document is not a Chrome trace at all; a returned
+/// [`TraceReport`] may still carry violations.
+pub fn check_chrome_trace(doc: &Value, tolerance_us: u64) -> Result<TraceReport, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| "document has no `traceEvents` array".to_string())?;
+    let mut report = TraceReport::default();
+    let mut spans: Vec<Span> = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph != "X" {
+            continue;
+        }
+        let field_u64 = |k: &str| ev.get(k).and_then(Value::as_u64);
+        let args = ev.get("args");
+        let span = Span {
+            name: ev.get("name").and_then(Value::as_str).unwrap_or("").to_string(),
+            cat: ev.get("cat").and_then(Value::as_str).unwrap_or("").to_string(),
+            ts: field_u64("ts").unwrap_or(0),
+            dur: field_u64("dur").unwrap_or(0),
+            id: args.and_then(|a| a.get("span")).and_then(Value::as_u64).unwrap_or(0),
+            parent: args.and_then(|a| a.get("parent")).and_then(Value::as_u64).unwrap_or(0),
+            external: args.and_then(|a| a.get("xparent")).and_then(Value::as_bool).unwrap_or(false),
+        };
+        if span.name.is_empty() {
+            report.violations.push(format!("event {i}: missing or empty `name`"));
+        }
+        if span.id == 0 {
+            report.violations.push(format!("event {i} ({}): missing `args.span` id", span.name));
+        }
+        if let Some(trace) = args.and_then(|a| a.get("trace")).and_then(Value::as_str) {
+            if !report.trace_ids.iter().any(|t| t == trace) {
+                report.trace_ids.push(trace.to_string());
+            }
+        }
+        if !span.cat.is_empty() && !report.categories.iter().any(|c| c == &span.cat) {
+            report.categories.push(span.cat.clone());
+        }
+        spans.push(span);
+    }
+    report.events = spans.len();
+    report.categories.sort();
+    report.trace_ids.sort();
+    if report.trace_ids.len() > 1 {
+        report.violations.push(format!(
+            "{} distinct trace ids in one document: {}",
+            report.trace_ids.len(),
+            report.trace_ids.join(", ")
+        ));
+    }
+
+    let mut by_id = std::collections::BTreeMap::new();
+    for s in &spans {
+        if s.id != 0 && by_id.insert(s.id, (s.ts, s.dur)).is_some() {
+            report.violations.push(format!("duplicate span id {} ({})", s.id, s.name));
+        }
+    }
+    let tol = tolerance_us;
+    for s in &spans {
+        if s.parent == 0 {
+            report.roots += 1;
+            continue;
+        }
+        if s.external {
+            // The parent id lives in another recorder's id space (an
+            // un-spliced server export); a numeric match in this document
+            // would be coincidence, so skip containment.
+            report.external_parents += 1;
+            continue;
+        }
+        if s.parent == s.id {
+            report.violations.push(format!("span {} ({}) is its own parent", s.id, s.name));
+            continue;
+        }
+        match by_id.get(&s.parent) {
+            None => report.external_parents += 1,
+            Some(&(pts, pdur)) => {
+                let starts_ok = s.ts + tol >= pts;
+                let ends_ok = s.ts + s.dur <= pts + pdur + tol;
+                if !starts_ok || !ends_ok {
+                    report.violations.push(format!(
+                        "span {} ({}) [{}..{}] escapes parent {} [{}..{}] (tolerance {tol}µs)",
+                        s.id,
+                        s.name,
+                        s.ts,
+                        s.ts + s.dur,
+                        s.parent,
+                        pts,
+                        pts + pdur,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jle_telemetry::{SpanRecorder, TraceContext};
+
+    #[test]
+    fn recorder_export_passes_the_checker() {
+        let rec = SpanRecorder::with_trace(TraceContext::mint());
+        {
+            let outer = rec.span("client", "submit");
+            let _inner = rec.child_span("engine", "run", outer.id());
+        }
+        let doc: Value = serde_json::from_str(&rec.to_chrome_trace()).unwrap();
+        let report = check_chrome_trace(&doc, 0).unwrap();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.events, 2);
+        assert_eq!(report.trace_ids.len(), 1);
+        assert_eq!(report.roots, 1);
+        assert_eq!(report.categories, vec!["client".to_string(), "engine".to_string()]);
+    }
+
+    #[test]
+    fn spliced_cross_process_export_keeps_one_trace_and_nests() {
+        // Server side records under the client's context, as sweepd does.
+        let ctx = TraceContext::mint();
+        let client = SpanRecorder::with_trace(ctx);
+        let submit = client.span("client", "submit");
+        let server = SpanRecorder::with_trace(ctx.with_parent(submit.id()));
+        {
+            let exec = server.span("sweepd", "execute");
+            let _run = server.child_span("engine", "run", exec.id());
+        }
+        client.import_events(&server.export_events(), client.now_us());
+        drop(submit);
+        let doc: Value = serde_json::from_str(&client.to_chrome_trace()).unwrap();
+        let report = check_chrome_trace(&doc, 2_000).unwrap();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.trace_ids.len(), 1, "one trace id end to end");
+        assert_eq!(report.events, 3);
+    }
+
+    #[test]
+    fn two_trace_ids_is_a_violation() {
+        let a = SpanRecorder::with_trace(TraceContext::mint());
+        drop(a.span("client", "one"));
+        let b = SpanRecorder::with_trace(TraceContext::mint());
+        drop(b.span("client", "two"));
+        a.import_events(&b.export_events(), a.now_us());
+        let doc: Value = serde_json::from_str(&a.to_chrome_trace()).unwrap();
+        let report = check_chrome_trace(&doc, 0).unwrap();
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(check_chrome_trace(&Value::Null, 0).is_err());
+        assert!(check_chrome_trace(&Value::Map(vec![]), 0).is_err());
+    }
+}

@@ -186,14 +186,39 @@ impl ResultStore {
     }
 
     /// Record the human-readable spec of a unit next to its shards, once.
-    /// Purely informational (never read back), so failures are ignored by
-    /// callers.
+    /// Best-effort (failures are ignored by callers); read back by
+    /// [`ResultStore::load_spec_info`] for fingerprint-addressed replay.
     pub fn write_spec_info(&self, key: &Fingerprint, spec_pretty: &str) -> io::Result<()> {
         let path = self.unit_dir(key).join("spec.json");
         if path.exists() {
             return Ok(());
         }
         self.write_atomic(&path, spec_pretty.as_bytes())
+    }
+
+    /// Look up a unit's recorded spec by fingerprint hex — full, or any
+    /// unique prefix of at least two characters (the shard width). Returns
+    /// the full fingerprint hex and the parsed spec, or `None` when the
+    /// prefix is unknown, ambiguous, or the unit ran before spec recording
+    /// existed.
+    pub fn load_spec_info(&self, hex: &str) -> Option<(String, Value)> {
+        if hex.len() < 2 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        let shard_dir = self.root.join(&hex[..2]);
+        let mut hits: Vec<String> = fs::read_dir(&shard_dir)
+            .ok()?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with(hex))
+            .collect();
+        if hits.len() != 1 {
+            return None;
+        }
+        let full = hits.pop()?;
+        let text = fs::read_to_string(shard_dir.join(&full).join("spec.json")).ok()?;
+        let spec = serde_json::from_str(&text).ok()?;
+        Some((full, spec))
     }
 
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
@@ -358,5 +383,20 @@ mod tests {
         store.write_spec_info(&k, "{\"b\":2}").unwrap();
         let text = fs::read_to_string(store.unit_dir(&k).join("spec.json")).unwrap();
         assert_eq!(text, "{\"a\":1}");
+    }
+
+    #[test]
+    fn spec_info_loads_by_full_hex_and_unique_prefix() {
+        let store = tmp_store("spec-load");
+        let k = key();
+        store.write_spec_info(&k, "{\"n\": 7}").unwrap();
+        let (full, spec) = store.load_spec_info(k.hex()).expect("full hex resolves");
+        assert_eq!(full, k.hex());
+        assert_eq!(spec.get("n").unwrap().as_u64(), Some(7));
+        let (full, _) = store.load_spec_info(&k.hex()[..8]).expect("unique prefix resolves");
+        assert_eq!(full, k.hex());
+        assert!(store.load_spec_info("f").is_none(), "sub-shard prefixes are rejected");
+        assert!(store.load_spec_info("zz00").is_none(), "non-hex is rejected");
+        assert!(store.load_spec_info("0123456789abcdef").is_none() || k.hex().starts_with("0123"));
     }
 }

@@ -463,6 +463,20 @@ impl MeshProtocol for ClusterElection {
         }
     }
 
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        match self.phase {
+            Phase::Elect => Some(("electing", Some(self.lesk.u()))),
+            Phase::Spread => Some(("spreading", Some(self.quiet as f64))),
+            Phase::Done => {
+                if self.best == Some(self.id) {
+                    Some(("leader", None))
+                } else {
+                    Some(("non_leader", None))
+                }
+            }
+        }
+    }
+
     fn mesh_status(&self) -> MeshStatus {
         MeshStatus {
             cluster_leader: self.cluster_leader,

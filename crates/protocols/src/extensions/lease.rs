@@ -343,6 +343,16 @@ impl Protocol for LeaseProtocol {
             _ => None,
         }
     }
+
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        match &self.role {
+            Role::Electing(inner) => {
+                Some(inner.state_probe().unwrap_or(("electing", inner.estimate())))
+            }
+            Role::Leading { misses, .. } => Some(("leading", Some(f64::from(*misses)))),
+            Role::Following { silence } => Some(("following", Some(*silence as f64))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,10 @@ impl UniformProtocol for LeskProtocol {
         Some(self.u)
     }
 
+    fn state_probe(&self) -> Option<(&'static str, Option<f64>)> {
+        Some(("electing", Some(self.u)))
+    }
+
     fn reset(&mut self) -> bool {
         self.u = self.initial_u;
         true

@@ -13,7 +13,9 @@ use crate::protocol::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
 use crate::server::{Endpoint, SweepStream};
 use jle_engine::RunReport;
 use jle_orchestrator::WorkSpec;
+use jle_telemetry::{SpanGuard, SpanRecorder, TraceContext};
 use serde::{Deserialize, Value};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
 
@@ -143,6 +145,10 @@ pub struct SweepClient {
     writer: SweepStream,
     info: ServerInfo,
     next_id: u64,
+    tracer: SpanRecorder,
+    /// Open client-side submit spans, by request id; closed (dropped)
+    /// when the request reaches a terminal frame.
+    inflight_spans: HashMap<u64, SpanGuard>,
 }
 
 impl SweepClient {
@@ -155,6 +161,8 @@ impl SweepClient {
             writer,
             info: ServerInfo { proto: String::new(), workers: 0, max_queue: 0, client_share: 0 },
             next_id: 0,
+            tracer: SpanRecorder::disabled(),
+            inflight_spans: HashMap::new(),
         };
         let id = client.send(&ClientFrame::Hello { id: 0 })?;
         match client.read_frame()? {
@@ -178,6 +186,30 @@ impl SweepClient {
         &self.info
     }
 
+    /// Turn on distributed tracing: mints one [`TraceContext`] for this
+    /// connection, records a client-cat span around every submission, and
+    /// splices the server's per-stage spans (returned on `result` frames)
+    /// into [`SweepClient::tracer`], so one Chrome-trace export shows the
+    /// full submit→result critical path.
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer = SpanRecorder::with_trace(TraceContext::mint());
+    }
+
+    /// Builder form of [`SweepClient::enable_tracing`].
+    pub fn with_tracing(mut self) -> Self {
+        self.enable_tracing();
+        self
+    }
+
+    /// The client-side span recorder (disabled unless
+    /// [`SweepClient::enable_tracing`] was called).
+    pub fn tracer(&self) -> &SpanRecorder {
+        &self.tracer
+    }
+
     /// Bound how long [`SweepClient::wait`] blocks on a silent server.
     pub fn set_read_timeout(&self, dur: Option<Duration>) -> Result<(), ClientError> {
         self.reader.get_ref().set_read_timeout(dur)?;
@@ -189,7 +221,9 @@ impl SweepClient {
         let id = self.next_id;
         let frame = match frame.clone() {
             ClientFrame::Hello { .. } => ClientFrame::Hello { id },
-            ClientFrame::Submit { spec, trials, .. } => ClientFrame::Submit { id, spec, trials },
+            ClientFrame::Submit { spec, trials, trace, .. } => {
+                ClientFrame::Submit { id, spec, trials, trace }
+            }
             ClientFrame::Subscribe { key, .. } => ClientFrame::Subscribe { id, key },
             ClientFrame::Status { key, .. } => ClientFrame::Status { id, key },
             ClientFrame::Cancel { key, .. } => ClientFrame::Cancel { id, key },
@@ -221,10 +255,22 @@ impl SweepClient {
 
     /// Submit one unit; does not wait for the result.
     pub fn submit(&mut self, spec: &WorkSpec, trials: u64) -> Result<Submission, ClientError> {
-        let id = self.send(&ClientFrame::Submit { id: 0, spec: clone_spec(spec), trials })?;
+        let (trace, guard) = if self.tracer.is_enabled() {
+            let guard =
+                self.tracer.span("client", format!("submit:{}/{}", spec.experiment, spec.point));
+            let ctx = self.tracer.trace().map(|c| c.with_parent(guard.id()));
+            (ctx, Some(guard))
+        } else {
+            (None, None)
+        };
+        let id =
+            self.send(&ClientFrame::Submit { id: 0, spec: clone_spec(spec), trials, trace })?;
         loop {
             match self.read_frame()? {
                 ServerFrame::Accepted { id: got, key, dedup, queue_depth, .. } if got == id => {
+                    if let Some(guard) = guard {
+                        self.inflight_spans.insert(id, guard);
+                    }
                     return Ok(Submission { req_id: id, key, dedup, queue_depth });
                 }
                 ServerFrame::Rejected { id: got, reason, retry_after_ms } if got == id => {
@@ -276,8 +322,13 @@ impl SweepClient {
                     cached_trials,
                     wall_secs,
                     results,
+                    spans,
                     ..
                 } if id == submission.req_id => {
+                    if let Some(spans) = spans {
+                        self.splice_server_spans(spans.as_ref());
+                    }
+                    self.inflight_spans.remove(&id);
                     return Ok(SweepOutcome {
                         key,
                         executed_trials,
@@ -287,14 +338,40 @@ impl SweepClient {
                     });
                 }
                 ServerFrame::Cancelled { id, completed_trials, .. } if id == submission.req_id => {
+                    self.inflight_spans.remove(&id);
                     return Err(ClientError::Cancelled { completed_trials });
                 }
                 ServerFrame::Failed { id, reason, .. } if id == submission.req_id => {
+                    self.inflight_spans.remove(&id);
                     return Err(ClientError::Failed(reason));
                 }
                 _ => continue,
             }
         }
+    }
+
+    /// Splice server-side span events into the client tracer, rebased so
+    /// the server block *ends* now — i.e. it nests inside the client's
+    /// still-open submit span instead of trailing past it (server and
+    /// client clocks share no epoch; the result frame's arrival is the
+    /// one instant both sides witness).
+    fn splice_server_spans(&mut self, events: &Value) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let width = events
+            .as_seq()
+            .map(|seq| {
+                let ts = |e: &Value| e.get("ts").and_then(Value::as_u64);
+                let end =
+                    |e: &Value| Some(ts(e)? + e.get("dur").and_then(Value::as_u64).unwrap_or(0));
+                let min = seq.iter().filter_map(ts).min().unwrap_or(0);
+                let max = seq.iter().filter_map(end).max().unwrap_or(min);
+                max - min
+            })
+            .unwrap_or(0);
+        let at = self.tracer.now_us().saturating_sub(width);
+        self.tracer.import_events(events, at);
     }
 
     /// Submit with bounded backpressure retries, then wait.

@@ -20,6 +20,7 @@
 //!   payloads.
 
 use jle_orchestrator::WorkSpec;
+use jle_telemetry::TraceContext;
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
@@ -35,8 +36,11 @@ pub enum ClientFrame {
     /// Handshake: the client's first frame; the server answers `hello`.
     Hello { id: u64 },
     /// Submit a unit of work: `trials` trials of `spec`. Subscribes the
-    /// connection to the job's progress and result.
-    Submit { id: u64, spec: WorkSpec, trials: u64 },
+    /// connection to the job's progress and result. `trace` is an
+    /// optional client-minted [`TraceContext`] — when present, the server
+    /// records per-stage spans under it and returns them on the `result`
+    /// frame. Absent on old clients; ignored by old servers.
+    Submit { id: u64, spec: WorkSpec, trials: u64, trace: Option<TraceContext> },
     /// Attach to an in-flight job by fingerprint key without submitting.
     Subscribe { id: u64, key: String },
     /// One-shot state query for an in-flight job.
@@ -74,7 +78,10 @@ pub enum ServerFrame {
         eta_secs: f64,
     },
     /// Terminal: the job finished. `results` is the JSON array of
-    /// per-trial reports in trial order.
+    /// per-trial reports in trial order. `spans` carries the server-side
+    /// span events of the job (admission → queue → execute → deliver →
+    /// per-run engine spans) when the submission carried a trace context,
+    /// in [`jle_telemetry::SpanRecorder::export_events`] form.
     Result {
         id: u64,
         key: String,
@@ -83,6 +90,7 @@ pub enum ServerFrame {
         cached_trials: u64,
         wall_secs: f64,
         results: Arc<Value>,
+        spans: Option<Arc<Value>>,
     },
     /// Terminal: the job was cancelled before completion.
     Cancelled { id: u64, key: String, completed_trials: u64 },
@@ -173,11 +181,14 @@ impl Serialize for ClientFrame {
     fn to_json_value(&self) -> Value {
         match self {
             ClientFrame::Hello { id } => frame("hello", *id, vec![]),
-            ClientFrame::Submit { id, spec, trials } => frame(
-                "submit",
-                *id,
-                vec![("spec", spec.to_json_value()), ("trials", Value::U64(*trials))],
-            ),
+            ClientFrame::Submit { id, spec, trials, trace } => {
+                let mut rest =
+                    vec![("spec", spec.to_json_value()), ("trials", Value::U64(*trials))];
+                if let Some(ctx) = trace {
+                    rest.push(("trace", ctx.to_json_value()));
+                }
+                frame("submit", *id, rest)
+            }
             ClientFrame::Subscribe { id, key } => {
                 frame("subscribe", *id, vec![("key", Value::Str(key.clone()))])
             }
@@ -207,7 +218,11 @@ impl Deserialize for ClientFrame {
                 if trials == 0 {
                     return Err(serde::Error::custom("submit: `trials` must be ≥ 1"));
                 }
-                Ok(ClientFrame::Submit { id, spec, trials })
+                let trace = match v.get("trace") {
+                    None | Some(Value::Null) => None,
+                    Some(t) => Some(TraceContext::from_json_value(t)?),
+                };
+                Ok(ClientFrame::Submit { id, spec, trials, trace })
             }
             "subscribe" => Ok(ClientFrame::Subscribe { id, key: get_str(v, "key")? }),
             "status" => Ok(ClientFrame::Status { id, key: get_str(v, "key")? }),
@@ -307,18 +322,21 @@ impl Serialize for ServerFrame {
                 cached_trials,
                 wall_secs,
                 results,
-            } => frame(
-                "result",
-                *id,
-                vec![
+                spans,
+            } => {
+                let mut rest = vec![
                     ("key", Value::Str(key.clone())),
                     ("trials", Value::U64(*trials)),
                     ("executed_trials", Value::U64(*executed_trials)),
                     ("cached_trials", Value::U64(*cached_trials)),
                     ("wall_secs", Value::F64(*wall_secs)),
                     ("results", results.as_ref().clone()),
-                ],
-            ),
+                ];
+                if let Some(spans) = spans {
+                    rest.push(("spans", spans.as_ref().clone()));
+                }
+                frame("result", *id, rest)
+            }
             ServerFrame::Cancelled { id, key, completed_trials } => frame(
                 "cancelled",
                 *id,
@@ -404,6 +422,10 @@ impl Deserialize for ServerFrame {
                         .ok_or_else(|| serde::Error::custom("result: missing `results`"))?
                         .clone(),
                 ),
+                spans: match v.get("spans") {
+                    None | Some(Value::Null) => None,
+                    Some(s) => Some(Arc::new(s.clone())),
+                },
             }),
             "cancelled" => Ok(ServerFrame::Cancelled {
                 id,
@@ -454,7 +476,13 @@ mod tests {
     fn client_frames_round_trip() {
         let frames = [
             ClientFrame::Hello { id: 1 },
-            ClientFrame::Submit { id: 2, spec: spec(), trials: 8 },
+            ClientFrame::Submit { id: 2, spec: spec(), trials: 8, trace: None },
+            ClientFrame::Submit {
+                id: 8,
+                spec: spec(),
+                trials: 8,
+                trace: Some(TraceContext { trace_id: 0xdead_beef, parent_span: 3 }),
+            },
             ClientFrame::Subscribe { id: 3, key: "ab".repeat(32) },
             ClientFrame::Status { id: 4, key: "cd".repeat(32) },
             ClientFrame::Cancel { id: 5, key: "ef".repeat(32) },
@@ -505,6 +533,17 @@ mod tests {
                 cached_trials: 0,
                 wall_secs: 0.25,
                 results: Arc::new(json!([json!({"slots": 10u64}), json!({"slots": 12u64})])),
+                spans: None,
+            },
+            ServerFrame::Result {
+                id: 11,
+                key: "k".into(),
+                trials: 2,
+                executed_trials: 2,
+                cached_trials: 0,
+                wall_secs: 0.25,
+                results: Arc::new(json!([json!({"slots": 10u64}), json!({"slots": 12u64})])),
+                spans: Some(Arc::new(json!([json!({"name": "execute", "ts": 5u64})]))),
             },
             ServerFrame::Cancelled { id: 5, key: "k".into(), completed_trials: 32 },
             ServerFrame::Failed { id: 6, key: "k".into(), reason: "unsupported".into() },
@@ -539,6 +578,30 @@ mod tests {
             serde_json::to_string(&spec().to_value()).unwrap()
         );
         assert!(ClientFrame::parse(&no_trials).is_err(), "zero trials");
+        let bad_trace = format!(
+            r#"{{"v":1,"op":"submit","id":1,"spec":{},"trials":2,"trace":{{"trace_id":"xyz"}}}}"#,
+            serde_json::to_string(&spec().to_value()).unwrap()
+        );
+        assert!(ClientFrame::parse(&bad_trace).is_err(), "malformed trace context");
+    }
+
+    #[test]
+    fn absent_trace_and_spans_stay_off_the_wire() {
+        // Old-client compatibility: a traceless submit serializes without
+        // the `trace` key at all, and a spanless result without `spans`.
+        let f = ClientFrame::Submit { id: 2, spec: spec(), trials: 8, trace: None };
+        assert!(!f.to_line().contains("trace"), "got {}", f.to_line());
+        let f = ServerFrame::Result {
+            id: 4,
+            key: "k".into(),
+            trials: 1,
+            executed_trials: 1,
+            cached_trials: 0,
+            wall_secs: 0.1,
+            results: Arc::new(json!([])),
+            spans: None,
+        };
+        assert!(!f.to_line().contains("spans"), "got {}", f.to_line());
     }
 
     #[test]
@@ -548,7 +611,7 @@ mod tests {
         // client and server would cache the same work under different
         // keys.
         use jle_orchestrator::{Fingerprint, DEFAULT_CODE_SALT};
-        let f = ClientFrame::Submit { id: 1, spec: spec(), trials: 4 };
+        let f = ClientFrame::Submit { id: 1, spec: spec(), trials: 4, trace: None };
         let back = ClientFrame::parse(&f.to_line()).unwrap();
         let ClientFrame::Submit { spec: parsed, .. } = back else { panic!("wrong op") };
         let a = Fingerprint::of(&spec(), DEFAULT_CODE_SALT, "ty");

@@ -32,7 +32,9 @@ use jle_orchestrator::{
     CancelToken, Event, Fingerprint, Interrupted, Orchestrator, Reporter, ResultStore, WorkSpec,
     DEFAULT_CHUNK_SIZE, DEFAULT_CODE_SALT,
 };
-use jle_telemetry::{Counter, Gauge, Histogram, MetricRegistry};
+use jle_telemetry::{
+    Counter, Gauge, Histogram, MetricRegistry, SpanGuard, SpanRecorder, TraceContext,
+};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -258,6 +260,12 @@ struct Job {
     submitted: Instant,
     executed_trials: AtomicU64,
     cached_trials: AtomicU64,
+    /// Per-job span recorder: stamped with the submitter's
+    /// [`TraceContext`] when the submission carried one, disabled
+    /// otherwise (every span call is then a no-op).
+    tracer: SpanRecorder,
+    /// The open queue-wait span; the worker closes it at pickup.
+    queue_span: Mutex<Option<SpanGuard>>,
     inner: Mutex<JobInner>,
 }
 
@@ -291,6 +299,10 @@ struct Metrics {
     queue_depth: Gauge,
     active_jobs: Gauge,
     first_chunk_latency_us: Histogram,
+    queue_wait_us: Histogram,
+    dedup_shortcircuit_us: Histogram,
+    execute_us: Histogram,
+    deliver_us: Histogram,
 }
 
 impl Metrics {
@@ -323,6 +335,22 @@ impl Metrics {
             first_chunk_latency_us: reg.histogram(
                 "jle_sweepd_first_chunk_latency_us",
                 "submission-to-first-chunk (or cache-answer) latency, microseconds",
+            ),
+            queue_wait_us: reg.histogram(
+                "jle_sweepd_queue_wait_us",
+                "admission-to-worker-pickup wait per job, microseconds",
+            ),
+            dedup_shortcircuit_us: reg.histogram(
+                "jle_sweepd_dedup_shortcircuit_us",
+                "admission latency of submissions coalesced onto in-flight work, microseconds",
+            ),
+            execute_us: reg.histogram(
+                "jle_sweepd_execute_us",
+                "orchestrator execution time per job, microseconds",
+            ),
+            deliver_us: reg.histogram(
+                "jle_sweepd_deliver_us",
+                "result rendering + subscriber fan-out time per job, microseconds",
             ),
         }
     }
@@ -446,7 +474,9 @@ impl Core {
         cm: &ConnMetrics,
         spec: WorkSpec,
         trials: u64,
+        trace: Option<TraceContext>,
     ) -> Option<ServerFrame> {
+        let admitted_at = Instant::now();
         if self.shutdown.load(Ordering::SeqCst) {
             cm.rejected.inc();
             return Some(ServerFrame::Rejected {
@@ -459,6 +489,11 @@ impl Core {
             return Some(ServerFrame::Error { id: req_id, reason: e.to_string() });
         }
         let key = self.fingerprint(&spec);
+        let tracer = match trace {
+            Some(ctx) => SpanRecorder::with_trace(ctx),
+            None => SpanRecorder::disabled(),
+        };
+        let admission_span = tracer.span("sweepd", "admission");
         let mut st = self.state.lock().expect("sweepd state");
         if let Some(job) = st.jobs.get(&key) {
             if job.trials != trials {
@@ -518,6 +553,7 @@ impl Core {
             }
             self.m.submissions.inc();
             self.m.dedup_hits.inc();
+            self.m.dedup_shortcircuit_us.observe(admitted_at.elapsed().as_micros() as u64);
             cm.submissions.inc();
             cm.dedup.inc();
             return None;
@@ -542,6 +578,10 @@ impl Core {
                 retry_after_ms: 200,
             });
         }
+        // Close the admission span and open the queue-wait span, which
+        // stays open until worker pickup.
+        drop(admission_span);
+        let queue_span = tracer.span("sweepd", "queue-wait");
         let job = Arc::new(Job {
             key: key.clone(),
             spec,
@@ -551,6 +591,8 @@ impl Core {
             submitted: Instant::now(),
             executed_trials: AtomicU64::new(0),
             cached_trials: AtomicU64::new(0),
+            tracer,
+            queue_span: Mutex::new(Some(queue_span)),
             inner: Mutex::new(JobInner {
                 phase: Phase::Queued,
                 done_trials: 0,
@@ -748,6 +790,13 @@ impl Core {
             let mut inner = job.inner.lock().expect("job inner");
             inner.phase = Phase::Running;
         }
+        // Close the queue-wait span (open since admission) and record the
+        // wait — observed for every job, traced or not.
+        self.m.queue_wait_us.observe(job.submitted.elapsed().as_micros() as u64);
+        drop(job.queue_span.lock().expect("queue span").take());
+        let execute_span = job.tracer.span("sweepd", "execute");
+        let execute_span_id = execute_span.id();
+        let executed_at = Instant::now();
         let orch = match &self.store {
             Some(store) => Orchestrator::with_store(store.clone()),
             None => Orchestrator::ephemeral(),
@@ -757,15 +806,22 @@ impl Core {
         .salt(self.config.salt.clone())
         .cancel_token(job.cancel.clone())
         .metrics_registry(&self.registry)
+        .tracer(job.tracer.clone())
         .reporter(JobReporter {
             job: Arc::clone(job),
             m: self.m.clone(),
             progress_every: self.config.progress_every,
         });
+        let run_tracer = job.tracer.clone();
         let outcome =
             build_trial_fn(&job.spec.params).map_err(|e| e.to_string()).and_then(|trial_fn| {
                 catch_unwind(AssertUnwindSafe(|| {
                     orch.try_run_trials::<RunReport, _>(&job.spec, job.trials, |seed| {
+                        let _run_span = run_tracer.child_span(
+                            "engine",
+                            format!("run:seed={seed}"),
+                            execute_span_id,
+                        );
                         trial_fn(seed)
                     })
                 }))
@@ -778,6 +834,8 @@ impl Core {
                     format!("trial panicked: {msg}")
                 })
             });
+        self.m.execute_us.observe(executed_at.elapsed().as_micros() as u64);
+        drop(execute_span);
         let wall_secs = job.submitted.elapsed().as_secs_f64();
 
         // Remove from the in-flight table *before* taking the subscriber
@@ -802,11 +860,17 @@ impl Core {
         let key = job.key.clone();
         match outcome {
             Ok(Ok(results)) => {
+                let delivered_at = Instant::now();
                 let executed_trials = job.executed_trials.load(Ordering::Relaxed);
                 let cached_trials = job.cached_trials.load(Ordering::Relaxed);
                 let payload: Arc<serde::Value> = Arc::new(serde::Value::Seq(
                     results.iter().map(Serialize::to_json_value).collect(),
                 ));
+                // The deliver span is open while the export happens, so it
+                // reaches the client truncated-at-export — present in the
+                // merged trace, its tail not observable by construction.
+                let deliver_span = job.tracer.span("sweepd", "deliver");
+                let spans = job.tracer.is_enabled().then(|| Arc::new(job.tracer.export_events()));
                 Job::send_to_subs(
                     &subs,
                     |req_id| ServerFrame::Result {
@@ -817,9 +881,12 @@ impl Core {
                         cached_trials,
                         wall_secs,
                         results: Arc::clone(&payload),
+                        spans: spans.clone(),
                     },
                     true,
                 );
+                drop(deliver_span);
+                self.m.deliver_us.observe(delivered_at.elapsed().as_micros() as u64);
                 self.m.jobs_completed.inc();
             }
             Ok(Err(interrupted)) => {
@@ -1176,8 +1243,8 @@ fn handle_conn(core: &Arc<Core>, stream: SweepStream) {
                 max_queue: core.config.max_queue as u64,
                 client_share: core.config.client_share as u64,
             }),
-            ClientFrame::Submit { id, spec, trials } => {
-                if let Some(reply) = core.submit(client, id, &tx, &cm, spec, trials) {
+            ClientFrame::Submit { id, spec, trials, trace } => {
+                if let Some(reply) = core.submit(client, id, &tx, &cm, spec, trials, trace) {
                     send_frame(&reply);
                 }
             }

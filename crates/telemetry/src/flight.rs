@@ -140,11 +140,14 @@ pub enum AnomalyKind {
     LeaseLost,
     /// A trial panicked and was caught by `MonteCarlo::run_caught`.
     Panic,
+    /// Nothing went wrong — the record is a deliberate snapshot of a
+    /// healthy run (e.g. a `jle-lens record` replay fixture).
+    Snapshot,
 }
 
 impl AnomalyKind {
     /// All anomaly kinds, for exhaustive iteration in tests and docs.
-    pub const ALL: [AnomalyKind; 7] = [
+    pub const ALL: [AnomalyKind; 8] = [
         AnomalyKind::CapHit,
         AnomalyKind::LeaderCrashed,
         AnomalyKind::MultiLeader,
@@ -152,6 +155,7 @@ impl AnomalyKind {
         AnomalyKind::SplitBrain,
         AnomalyKind::LeaseLost,
         AnomalyKind::Panic,
+        AnomalyKind::Snapshot,
     ];
 
     /// Stable snake_case label used in filenames and JSON.
@@ -164,6 +168,7 @@ impl AnomalyKind {
             AnomalyKind::SplitBrain => "split_brain",
             AnomalyKind::LeaseLost => "lease_lost",
             AnomalyKind::Panic => "panic",
+            AnomalyKind::Snapshot => "snapshot",
         }
     }
 
@@ -186,6 +191,10 @@ pub struct FlightRecord {
     /// Content-addressed config fingerprint of the owning work unit
     /// (`jle-orchestrator`), when the trial ran under the orchestrator.
     pub fingerprint: Option<String>,
+    /// The full run spec (params tree), when the producer chose to embed
+    /// it — makes the artifact replayable on its own, without access to
+    /// the result store that maps fingerprints back to specs.
+    pub replay_spec: Option<Value>,
     /// Free-form detail (panic message, restart cause, ...).
     pub detail: String,
     /// Extra context as key/value pairs (experiment id, trial index, ...).
@@ -205,6 +214,7 @@ impl FlightRecord {
             anomaly,
             seed,
             fingerprint: None,
+            replay_spec: None,
             detail: String::new(),
             context: Vec::new(),
             slots_seen: ring.total_pushed(),
@@ -215,6 +225,12 @@ impl FlightRecord {
     /// Attach the work unit's config fingerprint.
     pub fn with_fingerprint(mut self, fp: impl Into<String>) -> Self {
         self.fingerprint = Some(fp.into());
+        self
+    }
+
+    /// Embed the full run spec so the artifact replays standalone.
+    pub fn with_replay_spec(mut self, spec: Value) -> Self {
+        self.replay_spec = Some(spec);
         self
     }
 
@@ -257,6 +273,11 @@ impl Serialize for FlightRecord {
                 Value::Seq(self.events.iter().map(Serialize::to_json_value).collect()),
             ),
         ];
+        // Only present when embedded — older readers ignore it, older
+        // artifacts simply lack it.
+        if let Some(spec) = &self.replay_spec {
+            m.push(("spec".into(), spec.clone()));
+        }
         // Document the replay inline so a bare artifact is actionable.
         m.push((
             "replay".into(),
@@ -321,7 +342,21 @@ impl Deserialize for FlightRecord {
             .iter()
             .map(SlotEvent::from_json_value)
             .collect::<Result<Vec<_>, Error>>()?;
-        Ok(FlightRecord { schema, anomaly, seed, fingerprint, detail, context, slots_seen, events })
+        let replay_spec = match v.get("spec") {
+            None | Some(Value::Null) => None,
+            Some(spec) => Some(spec.clone()),
+        };
+        Ok(FlightRecord {
+            schema,
+            anomaly,
+            seed,
+            fingerprint,
+            replay_spec,
+            detail,
+            context,
+            slots_seen,
+            events,
+        })
     }
 }
 

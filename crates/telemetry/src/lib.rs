@@ -29,10 +29,12 @@
 pub mod flight;
 pub mod metrics;
 pub mod spans;
+pub mod trace;
 
 pub use flight::{AnomalyKind, FlightRecord, FlightRecorder, FlightRing, SlotEvent};
 pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, MetricsSnapshot};
-pub use spans::{SpanGuard, SpanRecorder};
+pub use spans::{FlushGuard, SpanGuard, SpanRecorder};
+pub use trace::TraceContext;
 
 /// Schema version stamped into every metrics snapshot and flight-recorder
 /// artifact this crate writes. Bump on any backwards-incompatible change
