@@ -10,9 +10,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_cohort_in, run_exact, run_exact_in, run_fast_exact, run_fast_exact_in,
-    CohortStations, EngineMetrics, PerStation, SimArena, SimConfig, SimCore, TelemetryObserver,
-    UniformProtocol,
+    run_batch_uniform, run_cohort, run_cohort_in, run_exact, run_exact_in, run_fast_exact,
+    run_fast_exact_in, CohortStations, EngineMetrics, PerStation, SimArena, SimConfig, SimCore,
+    TelemetryObserver, UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState};
 use jle_telemetry::MetricRegistry;
@@ -123,6 +123,59 @@ fn bench_exact_short(c: &mut Criterion) {
                     |_| Box::new(PerStation::new(AlwaysCollide)),
                     &mut arena,
                 ))
+            })
+        });
+        // The bitset fast path on the same short-run workload: the
+        // single-trial baseline the batched backend is measured against
+        // (see `batch_throughput` below and the `batch_speedup` gate arm).
+        group.bench_with_input(BenchmarkId::new("fast_exact", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_seed(7).with_max_slots(SLOTS);
+                black_box(run_fast_exact(&config, &adv, |_| {
+                    Box::new(PerStation::new(AlwaysCollide))
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    // The batched-backend tentpole measurement: K election-scale trials
+    // per call, SoA lockstep, vs the same K trials run one at a time
+    // through the fast-exact backend. `AlwaysCollide` keeps every trial
+    // alive for the full slot budget (uniform never-resolving workload,
+    // the degenerate p == 1.0 word path), so both arms do K × SLOTS slots
+    // of work and the ratio is pure backend overhead. Throughput is in
+    // trials; the acceptance bar (>= 10x at election scale) is gated by
+    // `bench_gate --batch-speedup-threshold` and recorded in
+    // results/BENCH.json.
+    let mut group = c.benchmark_group("batch_throughput");
+    const SLOTS: u64 = 16;
+    const TRIALS: u64 = 256;
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(TRIALS));
+    let seeds: Vec<u64> = (0..TRIALS).map(|t| 7 + t).collect();
+    for k in [8u32, 10] {
+        let n = 1u64 << k;
+        group.bench_with_input(BenchmarkId::new("per_trial", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                for &seed in &seeds {
+                    let config =
+                        SimConfig::new(n, CdModel::Strong).with_seed(seed).with_max_slots(SLOTS);
+                    black_box(run_fast_exact(&config, &adv, |_| {
+                        Box::new(PerStation::new(AlwaysCollide))
+                    }));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, &n| {
+            let adv = sat();
+            b.iter(|| {
+                let config = SimConfig::new(n, CdModel::Strong).with_max_slots(SLOTS);
+                black_box(run_batch_uniform(&config, &adv, &seeds, || AlwaysCollide))
             })
         });
     }
@@ -248,6 +301,7 @@ fn bench_telemetry(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_cohort, bench_exact, bench_exact_short, bench_fast_exact, bench_telemetry
+    targets = bench_cohort, bench_exact, bench_exact_short, bench_batch_throughput,
+        bench_fast_exact, bench_telemetry
 }
 criterion_main!(benches);

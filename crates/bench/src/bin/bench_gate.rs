@@ -26,9 +26,10 @@
 
 use jle_adversary::{AdversarySpec, JamStrategyKind, Rate};
 use jle_engine::{
-    run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan, ExactStations,
-    FaultPlan, FaultyStations, LeaderLedger, MultihopStations, PerStation, Protocol, SimArena,
-    SimConfig, SimCore, SlotActions, SlotObserver, SplitBrainObserver, StdMesh, UniformProtocol,
+    run_batch_uniform, run_cohort, run_exact, run_exact_in, run_fast_exact, Action, ChurnPlan,
+    ExactStations, FaultPlan, FaultyStations, LeaderLedger, MultihopStations, PerStation, Protocol,
+    SimArena, SimConfig, SimCore, SlotActions, SlotObserver, SplitBrainObserver, StdMesh,
+    UniformProtocol,
 };
 use jle_radio::{CdModel, ChannelState, Observation, SlotTruth, Topology};
 use jle_telemetry::SpanRecorder;
@@ -283,6 +284,38 @@ fn arms() -> Vec<Arm> {
             iters: 3,
             run: multihop_arm(1),
         },
+        // Paired A/B arms for the batched lockstep backend: the same 256
+        // election-scale trials (n = 1024, 16 slots, never resolving, the
+        // degenerate p == 1.0 word path) run one at a time through the
+        // fast-exact backend and as one SoA batch. The pair gates
+        // *against each other* in `main`: the batch arm must be at least
+        // --batch-speedup-threshold times faster per trial set.
+        Arm {
+            group: "batch_speedup",
+            name: "per_trial/1024",
+            iters: 2,
+            run: Box::new(|| {
+                let adv = sat();
+                for seed in 7..7 + 256u64 {
+                    let config =
+                        SimConfig::new(1 << 10, CdModel::Strong).with_seed(seed).with_max_slots(16);
+                    black_box(run_fast_exact(&config, &adv, |_| {
+                        Box::new(PerStation::new(AlwaysCollide))
+                    }));
+                }
+            }),
+        },
+        Arm {
+            group: "batch_speedup",
+            name: "batch/1024",
+            iters: 20,
+            run: Box::new(|| {
+                let adv = sat();
+                let seeds: Vec<u64> = (7..7 + 256u64).collect();
+                let config = SimConfig::new(1 << 10, CdModel::Strong).with_max_slots(16);
+                black_box(run_batch_uniform(&config, &adv, &seeds, || AlwaysCollide));
+            }),
+        },
         Arm {
             group: "fast_exact",
             name: "fast/65536",
@@ -334,6 +367,10 @@ struct Cli {
     /// `jle-sweepd` service (socket round-trips + scheduling + cache
     /// replay), in milliseconds.
     sweepd_budget_ms: f64,
+    /// Minimum throughput ratio of the batched backend over the
+    /// per-trial fast-exact loop on the same 256-trial workload
+    /// (same-process A/B pair; the PR's acceptance floor).
+    batch_speedup_threshold: f64,
 }
 
 /// Same-run A/B pair for the sweepd service path: one work unit computed
@@ -413,7 +450,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--threshold <frac>] [--samples <n>] [--normalize] \
          [--baseline <path>] [--churn-overhead-threshold <frac>]\n\
-         [--lens-overhead-threshold <frac>] [--sweepd-budget-ms <ms>]\n\n\
+         [--lens-overhead-threshold <frac>] [--sweepd-budget-ms <ms>]\n\
+         [--batch-speedup-threshold <ratio>]\n\n\
          Fails (exit 1) when a measured engine_throughput arm regresses more\n\
          than <frac> (default 0.10) against the newest results/BENCH.json\n\
          entry. --normalize gates each arm against the median measured/recorded\n\
@@ -424,7 +462,10 @@ fn usage() -> ! {
          tracing/probe hooks the same way (default limit 0.02), and the\n\
          sweepd_overhead pair submits a warm-cache\n\
          unit through an in-process jle-sweepd and gates the round-trip\n\
-         against --sweepd-budget-ms (default 50)."
+         against --sweepd-budget-ms (default 50). The batch_speedup pair\n\
+         runs the same 256 election-scale trials per-trial and batched and\n\
+         fails unless the batched backend is at least\n\
+         --batch-speedup-threshold (default 10) times faster."
     );
     std::process::exit(2);
 }
@@ -438,6 +479,7 @@ fn parse_args(args: &[String]) -> Cli {
         churn_overhead_threshold: 0.02,
         lens_overhead_threshold: 0.02,
         sweepd_budget_ms: 50.0,
+        batch_speedup_threshold: 10.0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -478,6 +520,15 @@ fn parse_args(args: &[String]) -> Cli {
                     Ok(t) if t > 0.0 => cli.lens_overhead_threshold = t,
                     _ => {
                         eprintln!("error: --lens-overhead-threshold expects a positive fraction");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--batch-speedup-threshold" => {
+                match value("--batch-speedup-threshold").parse::<f64>() {
+                    Ok(t) if t > 0.0 => cli.batch_speedup_threshold = t,
+                    _ => {
+                        eprintln!("error: --batch-speedup-threshold expects a positive ratio");
                         std::process::exit(2);
                     }
                 }
@@ -612,6 +663,29 @@ fn main() {
             "lens_overhead (disabled path)            {overhead:>+7.1}%   (limit {:.0}%)   {verdict}",
             cli.lens_overhead_threshold * 100.0,
             overhead = overhead * 100.0,
+        );
+    }
+
+    // Same-run A/B gate for the batched backend: the SoA lockstep pass
+    // over 256 election-scale trials must beat the per-trial fast-exact
+    // loop on the same workload by at least the acceptance floor. Ratio
+    // of same-process measurements — no machine-speed normalization.
+    let batch_ns = |name: &str| {
+        rows.iter()
+            .find(|(label, _, _)| label == &format!("batch_speedup/{name}"))
+            .map(|(_, ns, _)| *ns)
+    };
+    if let (Some(per_trial), Some(batched)) = (batch_ns("per_trial/1024"), batch_ns("batch/1024")) {
+        let speedup = per_trial / batched;
+        let verdict = if speedup < cli.batch_speedup_threshold {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "batch_speedup (256 trials, n=1024)       {speedup:>7.1}x   (floor {:.0}x)   {verdict}",
+            cli.batch_speedup_threshold,
         );
     }
 

@@ -7,7 +7,7 @@
 //! observations filtered by the collision-detection model, and jammed
 //! slots are indistinguishable from collisions.
 //!
-//! ## Architecture: one loop, five backends
+//! ## Architecture: one loop, six backends
 //!
 //! The slot loop is written exactly once, in [`SimCore`] (see
 //! `DESIGN.md` §10). What varies between simulators is *who the stations
@@ -27,6 +27,15 @@
 //!   protocol class; tracks one shared state and samples transmitter
 //!   counts binomially, O(1) per slot (n-independent), enabling sweeps to
 //!   millions of stations.
+//! * [`BatchExactStations`] / [`run_batch_exact`] — K trials of the same
+//!   experiment in lockstep with structure-of-arrays state: per-trial
+//!   bitplanes (one `u64` word covers 64 trials per station), a merged
+//!   wake calendar, and one pass per slot over all live trials. Per
+//!   trial **bit-identical** to [`FastExactStations`], so batch results
+//!   share the fast backend's cache entries; resolved trials retire
+//!   early without perturbing the others (draws are coordinate-pure).
+//!   [`run_batch_uniform`] adds a one-shared-state-per-trial fast path
+//!   for the uniform protocol class (see `DESIGN.md` §17).
 //! * [`FaultyStations`] / [`run_exact_faulty`] — the exact backend with
 //!   the [`faults`] subsystem layered on: station crashes, staggered
 //!   wakeups, deafness, and sensing errors, with failures classified by
@@ -52,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod churn;
 pub mod cohort;
 pub mod config;
@@ -69,7 +79,13 @@ pub mod streams;
 pub mod telemetry;
 
 pub use crate::core::{SimArena, SimCore, SlotActions, SlotFlags, StationSet, ADV_SEED_XOR};
-pub use churn::{run_exact_churn, run_fast_exact_churn, ChurnPlan, StationChurn};
+pub use batch::{
+    run_batch_exact, run_batch_exact_faulty, run_batch_exact_with, run_batch_uniform,
+    BatchExactStations, BatchUniformStations,
+};
+pub use churn::{
+    run_batch_exact_churn, run_exact_churn, run_fast_exact_churn, ChurnPlan, StationChurn,
+};
 pub use cohort::{
     run_cohort, run_cohort_against_oracle, run_cohort_in, run_cohort_with, sample_transmitters,
     CohortStations,
@@ -91,5 +107,5 @@ pub use report::{
     ClusterOutcome, EnergyStats, MultihopReport, Outcome, RunReport, SlotCost, SplitBrainStats,
 };
 pub use runner::{catch_trial, panic_count, MonteCarlo, TrialOutcome};
-pub use streams::{mix64, station_key, StationRng};
+pub use streams::{fill_block, mix64, slot_material, station_key, StationRng};
 pub use telemetry::{EngineMetrics, TelemetryObserver};

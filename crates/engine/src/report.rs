@@ -200,7 +200,7 @@ pub struct ClusterOutcome {
 /// complete-topology multi-hop runs without a cluster assignment, which
 /// are bit-identical to the single-channel engine and must serialize
 /// identically.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MultihopReport {
     /// Canonical topology descriptor (`Topology::descriptor`).
     pub topology: String,
@@ -234,7 +234,7 @@ impl MultihopReport {
 }
 
 /// The outcome of one simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Slots consumed (= index after the last played slot).
     pub slots: u64,

@@ -187,6 +187,49 @@ impl MonteCarlo {
         }
     }
 
+    /// Run trials in contiguous seed batches of `width`, in parallel over
+    /// batches: `f` receives the seed slice of one batch and must return
+    /// one result per seed, in seed order. Trial `i` still has seed
+    /// `base_seed + i` and results come back in trial order, so a batch
+    /// backend whose per-trial output is bit-identical to the per-trial
+    /// engine (see [`crate::batch`]) is a drop-in replacement for
+    /// [`MonteCarlo::run`] — same results, one slot-loop pass per batch
+    /// instead of one per trial.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or `f` returns a result count different
+    /// from its seed count.
+    pub fn run_batched<R, F>(&self, width: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&[u64]) -> Vec<R> + Sync,
+    {
+        assert!(width > 0, "batch width must be positive");
+        let batches = self.trials.div_ceil(width);
+        let body = || {
+            (0..batches)
+                .into_par_iter()
+                .map(|b| {
+                    let start = self.base_seed + b * width;
+                    let len = width.min(self.trials - b * width);
+                    let seeds: Vec<u64> = (start..start + len).collect();
+                    let out = f(&seeds);
+                    assert_eq!(
+                        out.len(),
+                        seeds.len(),
+                        "batch closure must return one result per seed"
+                    );
+                    out
+                })
+                .collect::<Vec<Vec<R>>>()
+        };
+        let nested = match self.jobs {
+            Some(j) => sized_pool(j).install(body),
+            None => body(),
+        };
+        nested.into_iter().flatten().collect()
+    }
+
     /// Like [`MonteCarlo::run`], but a panicking trial is isolated: the
     /// panic is caught inside the per-trial closure (before it can reach
     /// a worker-thread join) and recorded as [`TrialOutcome::Panicked`],
@@ -239,6 +282,32 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a[0], 200);
         assert_eq!(a[63], (100 + 63) * 2);
+    }
+
+    #[test]
+    fn run_batched_matches_run_in_trial_order() {
+        let mc = MonteCarlo::new(100, 7);
+        let per_trial = mc.run(|seed| seed.wrapping_mul(3));
+        // 100 trials over width-32 batches: three full batches plus a
+        // ragged tail of 4.
+        let batched = mc.run_batched(32, |seeds| {
+            assert!(seeds.len() == 32 || seeds.len() == 4, "ragged tail only");
+            seeds.iter().map(|s| s.wrapping_mul(3)).collect()
+        });
+        assert_eq!(per_trial, batched);
+        // Width larger than the sweep: one batch.
+        let one = mc.run_batched(1000, |seeds| {
+            assert_eq!(seeds.len(), 100);
+            seeds.iter().map(|s| s.wrapping_mul(3)).collect()
+        });
+        assert_eq!(per_trial, one);
+        assert!(MonteCarlo::new(0, 0).run_batched(8, |_| Vec::<u64>::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per seed")]
+    fn run_batched_rejects_miscounted_batches() {
+        MonteCarlo::new(8, 0).run_batched(4, |_| vec![0u64; 3]);
     }
 
     #[test]

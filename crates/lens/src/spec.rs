@@ -5,14 +5,18 @@
 //! protocol, adversary, plans — such that `spec + seed` re-derives a
 //! recorded trial bit-for-bit. Two tree shapes parse:
 //!
-//! * `kind == "cohort_election"` — the exact trees `jle-sweepd` caches
-//!   under content fingerprints (see `jle_sweepd::work`). Parsing here is
-//!   key-for-key identical to the server's, so any spec recovered from a
-//!   result-store `spec.json` replays on the same engine path the server
-//!   used.
+//! * `kind == "cohort_election"` / `kind == "exact_election"` — the
+//!   exact trees `jle-sweepd` caches under content fingerprints (see
+//!   `jle_sweepd::work`). Parsing here is key-for-key identical to the
+//!   server's, so any spec recovered from a result-store `spec.json`
+//!   replays on the same engine path the server used. `exact_election`
+//!   trees replay on the fast-exact path regardless of whether the
+//!   server computed them per-trial or through the batched backend —
+//!   the two are bit-identical per trial, which is exactly why the
+//!   server caches them under one fingerprint.
 //! * `kind == "election_run"` — the lens's superset: explicit engine
-//!   selection (`cohort`/`exact`/`fast-exact`/`multihop`), stop rules,
-//!   noise, fault/churn plans, topologies, and RNG disciplines.
+//!   selection (`cohort`/`exact`/`fast-exact`/`batch`/`multihop`), stop
+//!   rules, noise, fault/churn plans, topologies, and RNG disciplines.
 //!
 //! Parsing is strict in the same way the server's is: an unrecognized key
 //! anywhere in the tree is an error, never ignored — a replay that
@@ -65,6 +69,13 @@ pub enum EngineKind {
     Exact,
     /// Bitset fast path ([`FastExactStations`] / [`FastFaultyStations`]).
     FastExact,
+    /// Batched lockstep backend (`BatchExactStations`). The batch engine
+    /// is bit-identical per trial to the fast-exact path by contract
+    /// (DESIGN.md §17), and it cannot host a per-slot observer — so a
+    /// replay under this engine *dispatches onto the fast-exact
+    /// stations*. A trial produced by the batched backend replays
+    /// bit-exactly here; that is the contract, not a coincidence.
+    Batch,
     /// Topology-aware multi-hop engine ([`MultihopStations`]).
     Multihop,
 }
@@ -76,6 +87,7 @@ impl EngineKind {
             "cohort" => Some(EngineKind::Cohort),
             "exact" => Some(EngineKind::Exact),
             "fast-exact" => Some(EngineKind::FastExact),
+            "batch" => Some(EngineKind::Batch),
             "multihop" => Some(EngineKind::Multihop),
             _ => None,
         }
@@ -87,6 +99,7 @@ impl EngineKind {
             EngineKind::Cohort => "cohort",
             EngineKind::Exact => "exact",
             EngineKind::FastExact => "fast-exact",
+            EngineKind::Batch => "batch",
             EngineKind::Multihop => "multihop",
         }
     }
@@ -312,9 +325,49 @@ impl LensSpec {
             .ok_or_else(|| SpecError::Invalid("params: missing string `kind`".into()))?;
         match kind {
             "cohort_election" => Self::from_cohort_params(params),
+            "exact_election" => Self::from_exact_params(params),
             "election_run" => Self::from_run_params(params),
             other => Err(SpecError::Unsupported(format!("unknown work kind `{other}`"))),
         }
+    }
+
+    /// Parse the `jle-sweepd` `exact_election` cache tree (strictly,
+    /// like the server). These trees are cached under the fast-exact
+    /// engine salt whether the server executed them per-trial or
+    /// through the batched backend, so the replay engine is
+    /// [`EngineKind::FastExact`] — the path both producers are
+    /// bit-identical to.
+    fn from_exact_params(params: &Value) -> Result<Self, SpecError> {
+        check_keys(params, "exact_election", &["kind", "n", "cd", "adv", "max_slots", "proto"])?;
+        let n = req_u64(params, "n", "exact_election")?;
+        let max_slots = req_u64(params, "max_slots", "exact_election")?;
+        let cd_value = params
+            .get("cd")
+            .ok_or_else(|| SpecError::Invalid("exact_election: missing `cd`".into()))?;
+        let cd = CdModel::from_json_value(cd_value)
+            .map_err(|e| SpecError::Invalid(format!("exact_election: bad `cd`: {e}")))?;
+        let adv_value = params
+            .get("adv")
+            .ok_or_else(|| SpecError::Invalid("exact_election: missing `adv`".into()))?;
+        let adv = AdversarySpec::from_json_value(adv_value)
+            .map_err(|e| SpecError::Invalid(format!("exact_election: bad `adv`: {e}")))?;
+        let proto = params
+            .get("proto")
+            .ok_or_else(|| SpecError::Invalid("exact_election: missing `proto`".into()))?;
+        Ok(LensSpec {
+            engine: EngineKind::FastExact,
+            n,
+            cd,
+            adv,
+            max_slots,
+            stop: StopRule::FirstCleanSingle,
+            noise: 0.0,
+            proto: parse_proto(proto, false)?,
+            faults: None,
+            churn: None,
+            topology: None,
+            discipline: RngDiscipline::Shared,
+        })
     }
 
     /// Parse the `jle-sweepd` cache tree shape (strictly, like the server).
@@ -477,7 +530,7 @@ impl LensSpec {
                     ));
                 }
             }
-            EngineKind::Exact | EngineKind::FastExact => {
+            EngineKind::Exact | EngineKind::FastExact | EngineKind::Batch => {
                 if self.topology.is_some() {
                     return Err(SpecError::Invalid(format!(
                         "{} engine takes no topology (use engine=multihop)",
@@ -638,7 +691,11 @@ impl LensSpec {
                     }
                 }
             }
-            EngineKind::Exact | EngineKind::FastExact => {
+            // `Batch` dispatches onto the fast-exact stations: the batched
+            // backend is bit-identical per trial by contract (DESIGN.md
+            // §17) and cannot host an observer, so the fast path IS its
+            // replay path.
+            EngineKind::Exact | EngineKind::FastExact | EngineKind::Batch => {
                 let plan = match (&self.faults, &self.churn) {
                     (None, None) => None,
                     (Some(f), None) => Some(f.clone()),
@@ -654,16 +711,16 @@ impl LensSpec {
                             FaultyStations::new(&config, &plan, self.protocol_factory());
                         SimCore::new(&config, &self.adv).observe(obs).run(&mut stations)
                     }
-                    (EngineKind::FastExact, None) => {
+                    (EngineKind::FastExact | EngineKind::Batch, None) => {
                         let mut stations = FastExactStations::new(&config, self.protocol_factory());
                         SimCore::new(&config, &self.adv).observe(obs).run(&mut stations)
                     }
-                    (EngineKind::FastExact, Some(plan)) => {
+                    (EngineKind::FastExact | EngineKind::Batch, Some(plan)) => {
                         let mut stations =
                             FastFaultyStations::new(&config, &plan, self.protocol_factory());
                         SimCore::new(&config, &self.adv).observe(obs).run(&mut stations)
                     }
-                    _ => unreachable!("match is over Exact | FastExact"),
+                    _ => unreachable!("match is over Exact | FastExact | Batch"),
                 }
             }
             EngineKind::Multihop => {

@@ -167,6 +167,81 @@ fn diff_localizes_genuine_backend_divergence() {
 }
 
 #[test]
+fn batch_engine_roundtrip() {
+    // The `batch` engine label parses, records, re-embeds itself in the
+    // artifact, and replays bit-exactly (on the fast-exact stations).
+    assert_roundtrip(&run_params("batch"), 19);
+}
+
+#[test]
+fn batch_produced_trials_replay_bit_exactly_via_fast_exact() {
+    // The cache round-trip the aliased engine salt promises: trials the
+    // batched backend computed (and sweepd would cache under the
+    // fast-exact fingerprint) re-derive bit-identically through the
+    // lens's replay path — full RunReport equality, traces included.
+    use jle_engine::{run_batch_exact, PerStation, Protocol, SimConfig};
+    use jle_protocols::LeskProtocol;
+
+    let params = run_params("batch");
+    let spec = LensSpec::from_params(&params).expect("batch spec parses");
+    assert_eq!(spec.engine, EngineKind::Batch);
+
+    let adv = AdversarySpec::from_json_value(&sat_adv()).unwrap();
+    let config = SimConfig::new(8, CdModel::Strong).with_max_slots(20_000);
+    let seeds: Vec<u64> = (0..70).map(|t| 1000 + t).collect(); // K % 64 != 0
+    let factory =
+        |_i: u64| -> Box<dyn Protocol> { Box::new(PerStation::new(LeskProtocol::new(0.5))) };
+    let batched = run_batch_exact(&config, &adv, &seeds, factory);
+    assert_eq!(batched.len(), seeds.len());
+
+    for (seed, report) in seeds.iter().zip(&batched) {
+        let out = replay(&spec, *seed, 16, false).expect("replay runs");
+        assert_eq!(
+            &out.report, report,
+            "batch-produced trial at seed {seed} must replay bit-exactly via fast-exact"
+        );
+    }
+}
+
+#[test]
+fn sweepd_exact_election_tree_parses_onto_fast_exact() {
+    // The cache trees sweepd fingerprints for `exact_election` work —
+    // whether it executed them per-trial or batched — replay on the
+    // fast-exact path, and unknown keys are refused, never ignored.
+    let params = json!({
+        "kind": "exact_election",
+        "n": 12u64,
+        "cd": CdModel::Strong.to_json_value(),
+        "adv": sat_adv(),
+        "max_slots": 4_000u64,
+        "proto": {"proto": "willard"},
+    });
+    let spec = LensSpec::from_params(&params).expect("exact_election parses");
+    assert_eq!(spec.engine, EngineKind::FastExact);
+    assert_roundtrip(&params, 29);
+
+    let mut poisoned = params.clone();
+    if let Value::Map(m) = &mut poisoned {
+        m.push(("batch_width".into(), Value::U64(64)));
+    }
+    assert!(
+        LensSpec::from_params(&poisoned).is_err(),
+        "unknown exact_election keys must be refused"
+    );
+}
+
+#[test]
+fn batch_engine_refuses_topology() {
+    // Descriptive refusal, not a panic: batch is a single-channel alias.
+    let mut params = run_params("batch");
+    if let Value::Map(m) = &mut params {
+        m.push(("topology".into(), Value::Str("dense-linear:4,2".into())));
+    }
+    let err = LensSpec::from_params(&params).expect_err("topology on batch must fail");
+    assert!(err.to_string().contains("topology"), "unexpected error: {err}");
+}
+
+#[test]
 fn committed_fixture_still_replays_bit_exactly() {
     // The fixture was recorded once and committed; any engine change
     // that shifts RNG consumption or slot accounting will break this.

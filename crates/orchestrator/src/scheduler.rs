@@ -329,6 +329,70 @@ impl Orchestrator {
         R: Send + Serialize + Deserialize + SlotCost,
         F: Fn(u64) -> R + Sync,
     {
+        self.try_run_trials_inner(spec, trials, |start, len| {
+            MonteCarlo::new(len, spec.base_seed + start).with_jobs(self.jobs.unwrap_or(0)).run(&f)
+        })
+    }
+
+    /// Batch-aware twin of [`Self::try_run_trials`]: each missing chunk
+    /// is executed as contiguous seed *batches* handed to `f` (one result
+    /// per seed, in seed order) instead of one closure call per trial —
+    /// the scheduling shape `jle_engine::batch` backends want, where one
+    /// slot-loop pass serves a whole batch.
+    ///
+    /// Everything cache-shaped is unchanged: chunk ranges, fingerprints,
+    /// checkpoint layout, and per-trial seeding are exactly those of the
+    /// per-trial path, so a unit computed batched resumes (or is served)
+    /// interchangeably with one computed per-trial **when the batch
+    /// closure is bit-identical per trial** — which is the batch
+    /// backend's contract with the fast-exact engine. Callers exploiting
+    /// that contract should alias the salt via
+    /// [`engine_mode("fast-exact")`](Self::engine_mode) so batch and
+    /// fast-exact sweeps share warm caches.
+    ///
+    /// Within a chunk, the batch width is `chunk_len / effective_jobs`
+    /// (rounded up) so a wide machine still fans out; raise
+    /// [`chunk_size`](Self::chunk_size) to deepen the batches.
+    pub fn try_run_trials_batched<R, F>(
+        &self,
+        spec: &WorkSpec,
+        trials: u64,
+        f: F,
+    ) -> Result<Vec<R>, Interrupted>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+        F: Fn(&[u64]) -> Vec<R> + Sync,
+    {
+        let jobs = self.effective_jobs() as u64;
+        self.try_run_trials_inner(spec, trials, |start, len| {
+            let width = len.div_ceil(jobs).max(1);
+            MonteCarlo::new(len, spec.base_seed + start)
+                .with_jobs(self.jobs.unwrap_or(0))
+                .run_batched(width, &f)
+        })
+    }
+
+    /// [`Self::try_run_trials_batched`], panicking on interruption.
+    pub fn run_trials_batched<R, F>(&self, spec: &WorkSpec, trials: u64, f: F) -> Vec<R>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+        F: Fn(&[u64]) -> Vec<R> + Sync,
+    {
+        self.try_run_trials_batched(spec, trials, f).expect("interrupted without a chunk budget")
+    }
+
+    /// The shared unit body: cache probing, chunk accounting, telemetry,
+    /// and checkpointing. `exec(start, len)` computes one missing chunk's
+    /// results in trial order; chunks execute in range order.
+    fn try_run_trials_inner<R>(
+        &self,
+        spec: &WorkSpec,
+        trials: u64,
+        exec: impl Fn(u64, u64) -> Vec<R>,
+    ) -> Result<Vec<R>, Interrupted>
+    where
+        R: Send + Serialize + Deserialize + SlotCost,
+    {
         let unit_started = Instant::now();
         let _unit_span =
             self.tracer.span("orchestrator", format!("unit:{}/{}", spec.experiment, spec.point));
@@ -410,8 +474,8 @@ impl Orchestrator {
             }
             let len = end - start;
             let chunk_span = self.tracer.span("orchestrator", format!("chunk:{start}..{end}"));
-            let mc = MonteCarlo::new(len, spec.base_seed + start).with_jobs(self.jobs.unwrap_or(0));
-            let results = mc.run(&f);
+            let results = exec(start, len);
+            debug_assert_eq!(results.len() as u64, len, "chunk executor must fill its range");
             drop(chunk_span);
             if let Some(store) = store {
                 // Persist best-effort: an unwritable cache degrades to
@@ -635,6 +699,50 @@ mod tests {
         assert_eq!(warm_fast.stats_snapshot().executed_trials, 0);
         assert_eq!(b, b2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_scheduling_matches_per_trial_and_shares_its_cache() {
+        let dir = tmp_dir("batched");
+        // Cold: compute the unit through the batched path under the
+        // fast-exact engine salt (the alias batch callers use, since
+        // their per-trial bits match the fast-exact engine).
+        let batched =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("fast-exact");
+        let a: Vec<u64> = batched
+            .run_trials_batched(&spec(), 50, |seeds| seeds.iter().map(|&s| trial(s)).collect());
+        assert_eq!(batched.stats_snapshot().executed_trials, 50);
+        assert_eq!(a, MonteCarlo::new(50, 5000).run(trial), "batched results keep trial order");
+
+        // Warm: the per-trial path under the same engine mode is served
+        // entirely from the batched run's checkpoints — fingerprints
+        // alias because the per-trial bits are identical.
+        let per_trial =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("fast-exact");
+        let b: Vec<u64> = per_trial.run_trials(&spec(), 50, trial);
+        assert_eq!(per_trial.stats_snapshot().executed_trials, 0, "warm cache shared across modes");
+        assert_eq!(a, b);
+
+        // And the reverse direction: a batched run over a per-trial-warmed
+        // store executes nothing either.
+        let warm_batched =
+            Orchestrator::with_cache_dir(&dir).unwrap().chunk_size(8).engine_mode("fast-exact");
+        let c: Vec<u64> = warm_batched
+            .run_trials_batched(&spec(), 50, |seeds| seeds.iter().map(|&s| trial(s)).collect());
+        assert_eq!(warm_batched.stats_snapshot().executed_trials, 0);
+        assert_eq!(a, c);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_chunk_budget_interrupts_at_chunk_boundaries() {
+        let orch = Orchestrator::ephemeral().chunk_size(8).chunk_budget(2);
+        let err = orch
+            .try_run_trials_batched::<u64, _>(&spec(), 50, |seeds| {
+                seeds.iter().map(|&s| trial(s)).collect()
+            })
+            .unwrap_err();
+        assert_eq!(err, Interrupted::ChunkBudgetExhausted { completed_trials: 16 });
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl PackedSlot {
 
 /// A whole-run channel trace: one [`PackedSlot`] per slot, plus an optional
 /// parallel series of protocol-internal estimates (e.g. LESK's `u`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     slots: Vec<PackedSlot>,
     /// Optional per-slot scalar recorded by the protocol under test (LESK's

@@ -804,6 +804,7 @@ impl Core {
         .chunk_size(self.config.chunk_size)
         .jobs(self.config.mc_jobs)
         .salt(self.config.salt.clone())
+        .engine_mode(crate::work::engine_mode_of(&job.spec.params))
         .cancel_token(job.cancel.clone())
         .metrics_registry(&self.registry)
         .tracer(job.tracer.clone())
@@ -815,15 +816,33 @@ impl Core {
         let run_tracer = job.tracer.clone();
         let outcome =
             build_trial_fn(&job.spec.params).map_err(|e| e.to_string()).and_then(|trial_fn| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    orch.try_run_trials::<RunReport, _>(&job.spec, job.trials, |seed| {
+                // Kinds with a bit-identical batch backend run whole seed
+                // batches per slot-loop pass; everything else stays on the
+                // per-trial path. Either way the chunk layout, seeding,
+                // and fingerprints are identical, so results land in the
+                // same cache entries.
+                let batch_fn = crate::work::build_batch_fn(&job.spec.params).ok();
+                catch_unwind(AssertUnwindSafe(|| match &batch_fn {
+                    Some(batch_fn) => orch.try_run_trials_batched::<RunReport, _>(
+                        &job.spec,
+                        job.trials,
+                        |seeds| {
+                            let _run_span = run_tracer.child_span(
+                                "engine",
+                                format!("batch:{} seeds", seeds.len()),
+                                execute_span_id,
+                            );
+                            batch_fn(seeds)
+                        },
+                    ),
+                    None => orch.try_run_trials::<RunReport, _>(&job.spec, job.trials, |seed| {
                         let _run_span = run_tracer.child_span(
                             "engine",
                             format!("run:seed={seed}"),
                             execute_span_id,
                         );
                         trial_fn(seed)
-                    })
+                    }),
                 }))
                 .map_err(|panic| {
                     let msg = panic

@@ -15,13 +15,21 @@
 //! back to local computation for unsupported trees.
 
 use jle_adversary::AdversarySpec;
-use jle_engine::{run_cohort, RunReport, SimConfig};
+use jle_engine::{
+    run_batch_uniform, run_cohort, run_fast_exact, PerStation, Protocol, RunReport, SimConfig,
+};
 use jle_protocols::{BackoffProtocol, LeskProtocol, LesuProtocol, WillardProtocol};
 use jle_radio::CdModel;
 use serde::{Deserialize, Value};
 
 /// A reconstructed per-trial closure: seed → report.
 pub type TrialFn = Box<dyn Fn(u64) -> RunReport + Send + Sync>;
+
+/// A reconstructed batch closure: seed slice → one report per seed, in
+/// seed order, each bit-identical to what the [`TrialFn`] for the same
+/// tree returns for that seed — the contract that lets batch-computed
+/// chunks share cache entries with per-trial ones.
+pub type BatchFn = Box<dyn Fn(&[u64]) -> Vec<RunReport> + Send + Sync>;
 
 /// Why a parameter tree could not be turned into runnable work.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,11 +81,88 @@ fn req_f64(v: &Value, k: &str, what: &str) -> Result<f64, WorkError> {
         .ok_or_else(|| WorkError::Invalid(format!("{what}: missing f64 `{k}`")))
 }
 
+/// The uniform election protocols both election kinds share; the small
+/// closed set keeps reconstruction honest (anything else is
+/// [`WorkError::Unsupported`]).
+#[derive(Debug, Clone, Copy)]
+enum ElectionProto {
+    Lesk(f64),
+    Lesu,
+    Backoff,
+    Willard,
+}
+
+/// The common election parameter tree: fields `n`, `cd`, `adv`,
+/// `max_slots`, and a `proto` subtree naming one uniform protocol.
+fn parse_election(
+    params: &Value,
+    what: &str,
+) -> Result<(SimConfig, AdversarySpec, ElectionProto), WorkError> {
+    check_keys(params, what, &["kind", "n", "cd", "adv", "max_slots", "proto"])?;
+
+    let n = req_u64(params, "n", what)?;
+    let max_slots = req_u64(params, "max_slots", what)?;
+    let cd_value =
+        params.get("cd").ok_or_else(|| WorkError::Invalid(format!("{what}: missing `cd`")))?;
+    let cd = CdModel::from_json_value(cd_value)
+        .map_err(|e| WorkError::Invalid(format!("{what}: bad `cd`: {e}")))?;
+    let adv_value =
+        params.get("adv").ok_or_else(|| WorkError::Invalid(format!("{what}: missing `adv`")))?;
+    let adv = AdversarySpec::from_json_value(adv_value)
+        .map_err(|e| WorkError::Invalid(format!("{what}: bad `adv`: {e}")))?;
+    let proto = params
+        .get("proto")
+        .ok_or_else(|| WorkError::Invalid(format!("{what}: missing `proto`")))?;
+    let name = proto
+        .get("proto")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WorkError::Invalid("proto: missing string `proto`".into()))?;
+    let proto = match name {
+        "lesk" => {
+            check_keys(proto, "proto:lesk", &["proto", "eps"])?;
+            ElectionProto::Lesk(req_f64(proto, "eps", "proto:lesk")?)
+        }
+        "lesu" => {
+            check_keys(proto, "proto:lesu", &["proto"])?;
+            ElectionProto::Lesu
+        }
+        "backoff" => {
+            check_keys(proto, "proto:backoff", &["proto"])?;
+            ElectionProto::Backoff
+        }
+        "willard" => {
+            check_keys(proto, "proto:willard", &["proto"])?;
+            ElectionProto::Willard
+        }
+        other => {
+            return Err(WorkError::Unsupported(format!("unknown election protocol `{other}`")))
+        }
+    };
+    Ok((SimConfig::new(n, cd).with_max_slots(max_slots), adv, proto))
+}
+
+fn station_factory(proto: ElectionProto) -> impl Fn(u64) -> Box<dyn Protocol> {
+    move |_| match proto {
+        ElectionProto::Lesk(eps) => Box::new(PerStation::new(LeskProtocol::new(eps))),
+        ElectionProto::Lesu => Box::new(PerStation::new(LesuProtocol::new())),
+        ElectionProto::Backoff => Box::new(PerStation::new(BackoffProtocol::new())),
+        ElectionProto::Willard => Box::new(PerStation::new(WillardProtocol::new())),
+    }
+}
+
 /// Turn a submitted parameter tree into a runnable trial closure.
 ///
-/// Supported: `kind == "cohort_election"` trees as produced by
-/// `jle_bench::election_params` — fields `n`, `cd`, `adv`, `max_slots`,
-/// and a `proto` subtree naming one of the uniform cohort protocols:
+/// Supported kinds, both over the election parameter tree (`n`, `cd`,
+/// `adv`, `max_slots`, `proto`):
+///
+/// * `kind == "cohort_election"` — the O(1)-per-slot cohort engine, as
+///   produced by `jle_bench::election_params`.
+/// * `kind == "exact_election"` — the same protocol run per-station
+///   through the fast-exact engine ([`run_fast_exact`] over
+///   [`PerStation`]); eligible for batched execution via
+///   [`build_batch_fn`].
+///
+/// The `proto` subtree names one of the uniform protocols:
 ///
 /// * `{"proto": "lesk", "eps": ε}` — [`LeskProtocol::new`]
 /// * `{"proto": "lesu"}` — [`LesuProtocol::new`]
@@ -90,51 +175,87 @@ pub fn build_trial_fn(params: &Value) -> Result<TrialFn, WorkError> {
         .get("kind")
         .and_then(Value::as_str)
         .ok_or_else(|| WorkError::Invalid("params: missing string `kind`".into()))?;
-    if kind != "cohort_election" {
-        return Err(WorkError::Unsupported(format!("unknown work kind `{kind}`")));
+    match kind {
+        "cohort_election" => {
+            let (config, adv, proto) = parse_election(params, "cohort_election")?;
+            Ok(match proto {
+                ElectionProto::Lesk(eps) => Box::new(move |seed| {
+                    run_cohort(&config.clone().with_seed(seed), &adv, || LeskProtocol::new(eps))
+                }),
+                ElectionProto::Lesu => Box::new(move |seed| {
+                    run_cohort(&config.clone().with_seed(seed), &adv, LesuProtocol::new)
+                }),
+                ElectionProto::Backoff => Box::new(move |seed| {
+                    run_cohort(&config.clone().with_seed(seed), &adv, BackoffProtocol::new)
+                }),
+                ElectionProto::Willard => Box::new(move |seed| {
+                    run_cohort(&config.clone().with_seed(seed), &adv, WillardProtocol::new)
+                }),
+            })
+        }
+        "exact_election" => {
+            let (config, adv, proto) = parse_election(params, "exact_election")?;
+            Ok(Box::new(move |seed| {
+                run_fast_exact(&config.clone().with_seed(seed), &adv, station_factory(proto))
+            }))
+        }
+        other => Err(WorkError::Unsupported(format!("unknown work kind `{other}`"))),
     }
-    check_keys(params, "cohort_election", &["kind", "n", "cd", "adv", "max_slots", "proto"])?;
+}
 
-    let n = req_u64(params, "n", "cohort_election")?;
-    let max_slots = req_u64(params, "max_slots", "cohort_election")?;
-    let cd_value = params
-        .get("cd")
-        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `cd`".into()))?;
-    let cd = CdModel::from_json_value(cd_value)
-        .map_err(|e| WorkError::Invalid(format!("cohort_election: bad `cd`: {e}")))?;
-    let adv_value = params
-        .get("adv")
-        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `adv`".into()))?;
-    let adv = AdversarySpec::from_json_value(adv_value)
-        .map_err(|e| WorkError::Invalid(format!("cohort_election: bad `adv`: {e}")))?;
-    let proto = params
-        .get("proto")
-        .ok_or_else(|| WorkError::Invalid("cohort_election: missing `proto`".into()))?;
-    let name = proto
-        .get("proto")
+/// Turn a parameter tree into a batch closure, when the kind has a
+/// batch backend whose per-trial output is bit-identical to its
+/// [`TrialFn`].
+///
+/// Only `kind == "exact_election"` qualifies today: its per-trial path is
+/// the fast-exact engine, and `jle_engine::run_batch_uniform` is
+/// bit-identical to it, so batched chunks and per-trial chunks address
+/// the same cache entries. `cohort_election` is deliberately refused —
+/// cohort bits are *not* fast-exact bits, and routing them through the
+/// batch backend would cache different results under the same
+/// fingerprint (silent poisoning).
+pub fn build_batch_fn(params: &Value) -> Result<BatchFn, WorkError> {
+    let kind = params
+        .get("kind")
         .and_then(Value::as_str)
-        .ok_or_else(|| WorkError::Invalid("proto: missing string `proto`".into()))?;
+        .ok_or_else(|| WorkError::Invalid("params: missing string `kind`".into()))?;
+    match kind {
+        "exact_election" => {
+            let (config, adv, proto) = parse_election(params, "exact_election")?;
+            Ok(match proto {
+                ElectionProto::Lesk(eps) => Box::new(move |seeds: &[u64]| {
+                    run_batch_uniform(&config, &adv, seeds, || LeskProtocol::new(eps))
+                }),
+                ElectionProto::Lesu => Box::new(move |seeds: &[u64]| {
+                    run_batch_uniform(&config, &adv, seeds, LesuProtocol::new)
+                }),
+                ElectionProto::Backoff => Box::new(move |seeds: &[u64]| {
+                    run_batch_uniform(&config, &adv, seeds, BackoffProtocol::new)
+                }),
+                ElectionProto::Willard => Box::new(move |seeds: &[u64]| {
+                    run_batch_uniform(&config, &adv, seeds, WillardProtocol::new)
+                }),
+            })
+        }
+        "cohort_election" => Err(WorkError::Unsupported(
+            "cohort_election has no batch backend: cohort bits are not fast-exact bits, and \
+             aliasing them would poison the shared cache"
+                .into(),
+        )),
+        other => Err(WorkError::Unsupported(format!("unknown work kind `{other}`"))),
+    }
+}
 
-    let config = move |seed: u64| SimConfig::new(n, cd).with_seed(seed).with_max_slots(max_slots);
-    match name {
-        "lesk" => {
-            check_keys(proto, "proto:lesk", &["proto", "eps"])?;
-            let eps = req_f64(proto, "eps", "proto:lesk")?;
-            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, || LeskProtocol::new(eps))))
-        }
-        "lesu" => {
-            check_keys(proto, "proto:lesu", &["proto"])?;
-            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, LesuProtocol::new)))
-        }
-        "backoff" => {
-            check_keys(proto, "proto:backoff", &["proto"])?;
-            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, BackoffProtocol::new)))
-        }
-        "willard" => {
-            check_keys(proto, "proto:willard", &["proto"])?;
-            Ok(Box::new(move |seed| run_cohort(&config(seed), &adv, WillardProtocol::new)))
-        }
-        other => Err(WorkError::Unsupported(format!("unknown cohort protocol `{other}`"))),
+/// The orchestrator engine-mode tag under which a tree's results are
+/// cached. `exact_election` results live under the `fast-exact` salt —
+/// whether computed per-trial or batched, the bits are the fast-exact
+/// engine's, so both routes share warm caches with fast-exact sweeps.
+/// Everything else stays on the default salt, leaving existing cohort
+/// caches untouched.
+pub fn engine_mode_of(params: &Value) -> &'static str {
+    match params.get("kind").and_then(Value::as_str) {
+        Some("exact_election") => "fast-exact",
+        _ => "exact",
     }
 }
 
@@ -206,6 +327,62 @@ mod tests {
             m.push(("faults".into(), json!({"crash": 1u64})));
         }
         assert!(matches!(build_trial_fn(&top), Err(WorkError::Unsupported(_))));
+    }
+
+    fn exact_params(proto: Value) -> Value {
+        json!({
+            "kind": "exact_election",
+            "n": 12u64,
+            "cd": CdModel::Strong.to_json_value(),
+            "adv": AdversarySpec::passive().to_json_value(),
+            "max_slots": 4_000u64,
+            "proto": proto,
+        })
+    }
+
+    #[test]
+    fn exact_election_batch_is_bit_identical_to_its_trial_fn() {
+        // The routing contract: for every supported protocol, the batch
+        // closure's per-seed reports equal the per-trial closure's — this
+        // is what makes sharing cache entries between the two safe.
+        for proto in [
+            json!({"proto": "lesk", "eps": 0.3f64}),
+            json!({"proto": "lesu"}),
+            json!({"proto": "backoff"}),
+            json!({"proto": "willard"}),
+        ] {
+            let p = exact_params(proto.clone());
+            assert!(is_supported(&p), "{proto:?}");
+            let trial_fn = build_trial_fn(&p).unwrap();
+            let batch_fn = build_batch_fn(&p).unwrap();
+            let seeds = [3u64, 41, 77, 500];
+            let batched = batch_fn(&seeds);
+            assert_eq!(batched.len(), seeds.len());
+            for (seed, got) in seeds.iter().zip(batched.iter()) {
+                assert_eq!(
+                    serde_json::to_string(got).unwrap(),
+                    serde_json::to_string(&trial_fn(*seed)).unwrap(),
+                    "{proto:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_units_never_route_through_the_batch_backend() {
+        // Cohort bits are not fast-exact bits; offering them a batch
+        // path would cache wrong results under the cohort fingerprint.
+        let p = params(json!({"proto": "lesu"}));
+        assert!(matches!(build_batch_fn(&p), Err(WorkError::Unsupported(_))));
+        assert_eq!(engine_mode_of(&p), "exact", "cohort caches keep their existing salt");
+        assert_eq!(engine_mode_of(&exact_params(json!({"proto": "lesu"}))), "fast-exact");
+    }
+
+    #[test]
+    fn exact_election_rejects_unknown_keys_like_cohort_does() {
+        let p = exact_params(json!({"proto": "lesk", "eps": 0.5f64, "u0": 6u64}));
+        assert!(matches!(build_trial_fn(&p), Err(WorkError::Unsupported(_))));
+        assert!(matches!(build_batch_fn(&p), Err(WorkError::Unsupported(_))));
     }
 
     #[test]
